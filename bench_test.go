@@ -1,0 +1,143 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§IV). Each benchmark runs one experiment of the registry end to end —
+// all designs, fixed-work methodology — and reports the headline relative
+// overheads as custom metrics, so `go test -bench` output can be compared
+// row by row against the paper (see EXPERIMENTS.md).
+//
+// Benchmarks default to a reduced operation-count scale so the full suite
+// completes in minutes; set -benchtime=1x (the default here is fine) and
+// raise benchScale for closer-to-paper runs.
+package tvarak_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tvarak"
+	"tvarak/internal/experiments"
+	"tvarak/internal/param"
+)
+
+// benchScale reduces measured op counts for benchmark runs.
+const benchScale = 0.25
+
+// runExperiment executes one registry experiment and reports the TVARAK
+// and software-scheme runtime overheads (fraction over Baseline) as
+// benchmark metrics, plus the table itself via b.Log on the first run.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := tvarak.LookupExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(experiments.Options{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab)
+			report(b, tab)
+		}
+	}
+}
+
+// report emits per-design average overhead metrics.
+func report(b *testing.B, tab *tvarak.ResultTable) {
+	type agg struct {
+		sum float64
+		n   int
+	}
+	perDesign := map[param.Design]*agg{}
+	for _, r := range tab.Results {
+		if r.Design == param.Baseline || r.Variant != "" {
+			continue
+		}
+		a := perDesign[r.Design]
+		if a == nil {
+			a = &agg{}
+			perDesign[r.Design] = a
+		}
+		a.sum += tab.Overhead(r)
+		a.n++
+	}
+	for d, a := range perDesign {
+		if a.n > 0 {
+			b.ReportMetric(100*a.sum/float64(a.n), fmt.Sprintf("%%over-base/%s", d))
+		}
+	}
+}
+
+// Fig. 8: runtime, energy, NVM accesses and cache accesses per application.
+
+func BenchmarkFig8Redis(b *testing.B)  { runExperiment(b, "fig8-redis") }
+func BenchmarkFig8KV(b *testing.B)     { runExperiment(b, "fig8-kv") }
+func BenchmarkFig8NStore(b *testing.B) { runExperiment(b, "fig8-nstore") }
+func BenchmarkFig8Fio(b *testing.B)    { runExperiment(b, "fig8-fio") }
+func BenchmarkFig8Stream(b *testing.B) { runExperiment(b, "fig8-stream") }
+
+// Fig. 9: design-choice ablation (naive → +DAX-CL → +caching → +diffs).
+
+func BenchmarkFig9Ablation(b *testing.B) { runExperiment(b, "fig9") }
+
+// Fig. 10: sensitivity to the LLC way-partition sizes.
+
+func BenchmarkFig10Redundancy(b *testing.B) { runExperiment(b, "fig10a") }
+func BenchmarkFig10Diff(b *testing.B)       { runExperiment(b, "fig10b") }
+
+// §IV-G: exclusive-cache TVARAK (no data diffs).
+
+func BenchmarkSec4GExclusive(b *testing.B) { runExperiment(b, "sec4g") }
+
+// §IV-H: DIMM count and NVM technology sweeps.
+
+func BenchmarkSec4HDimms(b *testing.B) { runExperiment(b, "sec4h-dimms") }
+func BenchmarkSec4HTech(b *testing.B)  { runExperiment(b, "sec4h-tech") }
+
+// BenchmarkRecoveryLatency measures the parity-reconstruction path itself:
+// cycles to detect and recover one corrupted line (Figs. 1-2 machinery).
+func BenchmarkRecoveryLatency(b *testing.B) {
+	cfg := tvarak.ReproScaleConfig(tvarak.DesignTvarak)
+	m, err := tvarak.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm, err := m.NewMapping("bench", 1<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := m.Engine()
+	data := bytes.Repeat([]byte{0x5a}, 64)
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		for off := uint64(0); off < 1<<20; off += 64 {
+			dm.Store(c, off, data)
+		}
+	}})
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		off := uint64(i%16384) * 64
+		// A pattern guaranteed to differ from both the initial fill and
+		// any earlier iteration's content of this line (byte 2 is 0xA1,
+		// never 0x5a; bytes 0-1 encode the iteration).
+		fresh := bytes.Repeat([]byte{0xA1}, 64)
+		fresh[0], fresh[1] = byte(i), byte(i>>8)
+		eng.DropCaches()
+		eng.NVM.InjectLostWrite(dm.Addr(off))
+		eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+			dm.Store(c, off, fresh) // lost
+		}})
+		eng.DropCaches()
+		eng.ResetMeasurement()
+		eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+			buf := make([]byte, 64)
+			dm.Load(c, off, buf)
+		}})
+		if eng.St.Recoveries != 1 {
+			b.Fatalf("iteration %d: recoveries = %d, want 1", i, eng.St.Recoveries)
+		}
+		cycles += eng.St.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/recovery")
+}

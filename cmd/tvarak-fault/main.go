@@ -1,0 +1,99 @@
+// Command tvarak-fault demonstrates the firmware-bug scenarios of Figs. 1-2
+// end to end: it injects lost-write, misdirected-write and misdirected-read
+// bugs into the simulated NVM DIMMs, shows that device-level ECC does not
+// notice them, and shows TVARAK detecting each corruption on read
+// verification and recovering the data from cross-DIMM parity.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"tvarak"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tvarak-fault:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := tvarak.ReproScaleConfig(tvarak.DesignTvarak)
+	m, err := tvarak.NewMachine(cfg)
+	if err != nil {
+		return err
+	}
+	dm, err := m.NewMapping("victim", 1<<20)
+	if err != nil {
+		return err
+	}
+	eng := m.Engine()
+	ctrl := m.Controller()
+	ctrl.CorruptionHook = func(addr uint64) {
+		fmt.Printf("    TVARAK: checksum mismatch at %#x — recovering from cross-DIMM parity\n", addr)
+	}
+
+	scenario := func(name string, inject func(addr uint64), off uint64, want []byte) error {
+		fmt.Printf("== %s ==\n", name)
+		addr := dm.Addr(off) &^ 63
+		// Flush so the next write reaches the device, then arm the bug.
+		eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+			dm.Store(c, off, bytes.Repeat([]byte{0x11}, 64))
+		}})
+		eng.DropCaches()
+		inject(addr)
+		eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+			dm.Store(c, off, want)
+		}})
+		if eng.NVM.PendingBugs() != 0 {
+			return fmt.Errorf("injected bug did not fire")
+		}
+		fmt.Printf("    device ECC errors: %d (firmware bugs are invisible to device ECC)\n", eng.St.ECCErrors)
+		eng.DropCaches()
+		var got []byte
+		eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+			got = make([]byte, 64)
+			dm.Load(c, off, got)
+		}})
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("recovered data wrong")
+		}
+		fmt.Printf("    read returned correct data; detections=%d recoveries=%d\n\n",
+			eng.St.CorruptionsDetected, eng.St.Recoveries)
+		return nil
+	}
+
+	if err := scenario("lost write (Fig. 1)", func(a uint64) { eng.NVM.InjectLostWrite(a) },
+		64*100, bytes.Repeat([]byte{0x22}, 64)); err != nil {
+		return err
+	}
+	if err := scenario("misdirected write (Fig. 2)", func(a uint64) {
+		eng.NVM.InjectMisdirectedWrite(a, dm.Addr(64*500)&^63)
+	}, 64*200, bytes.Repeat([]byte{0x33}, 64)); err != nil {
+		return err
+	}
+	if err := scenario("misdirected read", func(a uint64) {
+		eng.NVM.InjectMisdirectedRead(a, dm.Addr(64*600)&^63)
+	}, 64*300, bytes.Repeat([]byte{0x44}, 64)); err != nil {
+		return err
+	}
+
+	fmt.Println("== media corruption (bit flip) — caught by device ECC, not TVARAK ==")
+	before := eng.St.ECCErrors
+	addr := dm.Addr(64*700) &^ 63
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		dm.Store(c, 64*700, bytes.Repeat([]byte{0x55}, 64))
+	}})
+	eng.DropCaches()
+	eng.NVM.FlipBit(addr+5, 2)
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		buf := make([]byte, 64)
+		dm.Load(c, 64*700, buf)
+	}})
+	fmt.Printf("    device ECC errors: %d (was %d)\n", eng.St.ECCErrors, before)
+	fmt.Println("\nall scenarios detected and recovered")
+	return nil
+}

@@ -1,0 +1,141 @@
+// Command tvarak-sim runs the paper's experiments and prints Fig. 8-style
+// tables. Each experiment id maps to one table or figure (see DESIGN.md §3
+// and `tvarak-sim -list`).
+//
+// Usage:
+//
+//	tvarak-sim -list
+//	tvarak-sim -exp fig8-redis
+//	tvarak-sim -exp all -scale 0.25
+//	tvarak-sim -exp table1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tvarak"
+	"tvarak/internal/experiments"
+	"tvarak/internal/param"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (or 'all'); see -list")
+		list    = flag.Bool("list", false, "list experiment ids")
+		scale   = flag.Float64("scale", 1.0, "multiply measured operation counts")
+		full    = flag.Bool("full", false, "use the paper's full-scale machine (24 MB LLC) instead of the 1/16-scale reproduction machine")
+		designs = flag.String("designs", "", "comma-separated subset of designs (baseline,tvarak,txb-object,txb-page,vilamb)")
+		jsonOut = flag.Bool("json", false, "emit one JSON object per run instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range tvarak.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Paper)
+		}
+		fmt.Printf("%-14s %s\n", "table1", "Table I: design trade-off matrix (qualitative)")
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "tvarak-sim: -exp required (try -list)")
+		os.Exit(2)
+	}
+	if *exp == "table1" {
+		fmt.Print(tableOne)
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, FullScale: *full, Designs: parseDesigns(*designs)}
+	var ids []string
+	if *exp == "all" {
+		for _, e := range tvarak.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		e, err := tvarak.LookupExperiment(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvarak-sim:", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvarak-sim:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			for _, r := range tab.Results {
+				row := map[string]any{
+					"experiment": e.ID,
+					"workload":   r.Workload,
+					"design":     r.Design.String(),
+					"variant":    r.Variant,
+					"cycles":     r.Stats.Cycles,
+					"energyPJ":   r.Stats.EnergyPJ,
+					"overhead":   tab.Overhead(r),
+					"nvm":        r.Stats.NVM,
+					"cacheTotal": r.Stats.CacheTotal(),
+				}
+				if err := enc.Encode(row); err != nil {
+					fmt.Fprintln(os.Stderr, "tvarak-sim:", err)
+					os.Exit(1)
+				}
+			}
+			continue
+		}
+		fmt.Printf("# %s (%s) — simulated in %v\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond))
+		fmt.Println(tab)
+	}
+}
+
+func parseDesigns(s string) []param.Design {
+	if s == "" {
+		return nil
+	}
+	var out []param.Design
+	for _, tok := range strings.Split(s, ",") {
+		switch strings.TrimSpace(strings.ToLower(tok)) {
+		case "baseline":
+			out = append(out, param.Baseline)
+		case "tvarak":
+			out = append(out, param.Tvarak)
+		case "txb-object", "txb-object-csums":
+			out = append(out, param.TxBObjectCsums)
+		case "txb-page", "txb-page-csums":
+			out = append(out, param.TxBPageCsums)
+		case "vilamb":
+			out = append(out, param.Vilamb)
+		default:
+			fmt.Fprintf(os.Stderr, "tvarak-sim: unknown design %q\n", tok)
+			os.Exit(2)
+		}
+	}
+	return out
+}
+
+// tableOne reproduces Table I: trade-offs among TVARAK and previous DAX NVM
+// storage redundancy designs.
+const tableOne = `Table I: trade-offs among TVARAK and previous DAX NVM storage redundancy designs
+
+design                       csum granularity  csum/parity update (DAX)   csum verification (DAX)     perf overhead
+---------------------------  ----------------  -------------------------  --------------------------  -------------
+Nova-Fortis / Plexistore     (+) page          (-) no updates             (-) no verification         (+) none
+Mojim / HotPot (+csums)      (+) page          (+) on application flush   (~) background scrubbing    (-) very high
+Pangolin (TxB-Object-Csums)  (~) object        (+) on application flush   (+) on NVM-to-DRAM copy     (~) moderate-high
+Vilamb                       (+) page          (~) periodically           (~) background scrubbing    (~) configurable
+TVARAK                       (+) page*         (+) on LLC-to-NVM write    (+) on NVM-to-LLC read      (+) low
+
+* page-granular system-checksums at rest; cache-line-granular DAX-CL-checksums while data is mapped.
+This reproduction implements the Mojim/HotPot-style scheme as TxB-Page-Csums, Pangolin-style as
+TxB-Object-Csums, the Nova-Fortis-style fs path as daxfs.ReadAt/WriteAt verification, background
+scrubbing as daxfs.Scrub, and TVARAK as the internal/core controller.
+`

@@ -1,0 +1,59 @@
+// Dimmfailure demonstrates the second purpose of cross-DIMM parity (§II-A):
+// recovering from a whole-device failure, not just firmware-bug corruption.
+// A file is written across the striped DIMMs, one entire NVM DIMM is wiped,
+// and the file system reconstructs every lost page — data and parity —
+// from the surviving devices.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tvarak"
+)
+
+func main() {
+	m, err := tvarak.NewMachine(tvarak.ReproScaleConfig(tvarak.DesignTvarak))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := m.FS()
+	f, err := fs.Create("database", 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := fs.WriteAt(f, 0, data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d KiB across %d NVM DIMMs (page-striped, rotating parity)\n",
+		len(data)>>10, fs.Geometry().DIMMs)
+
+	// Catastrophe: DIMM 1 dies. Wipe every page it holds.
+	geo := fs.Geometry()
+	junk := bytes.Repeat([]byte{0xFF}, geo.PageSize)
+	for s := uint64(0); s < geo.Stripes(); s++ {
+		m.Engine().NVM.WriteRaw(geo.PageBase(s*uint64(geo.DIMMs)+1), junk)
+	}
+	bad := fs.Scrub()
+	fmt.Printf("DIMM 1 wiped: scrub reports %d corrupted pages\n", len(bad))
+
+	// Replace the device and reconstruct.
+	if err := fs.RecoverDIMM(1); err != nil {
+		log.Fatal(err)
+	}
+	if bad := fs.Scrub(); len(bad) != 0 {
+		log.Fatalf("recovery incomplete: %d bad pages", len(bad))
+	}
+	got := make([]byte, len(data))
+	if err := fs.ReadAt(f, 0, got); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		log.Fatal("recovered content differs")
+	}
+	fmt.Println("RecoverDIMM rebuilt every page from the surviving devices; content bit-exact")
+}

@@ -1,0 +1,92 @@
+// Faultinjection reproduces the motivating scenarios of Figs. 1-2: a lost
+// write and a misdirected write injected into the NVM firmware model. It
+// contrasts three protection levels the paper discusses:
+//
+//   - device-level ECC alone (Baseline): corruption goes unnoticed;
+//   - file-system checksums on the fs path (Nova-Fortis-style): detected
+//     only when data is later read through the file system;
+//   - TVARAK: detected on the very next DAX read and repaired from parity.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"tvarak"
+)
+
+func main() {
+	fmt.Println("--- Baseline: device ECC alone misses firmware bugs ---")
+	baselineMissesCorruption()
+	fmt.Println()
+	fmt.Println("--- TVARAK: detection on next read + parity recovery ---")
+	tvarakDetectsAndRecovers()
+}
+
+func baselineMissesCorruption() {
+	m, err := tvarak.NewMachine(tvarak.ReproScaleConfig(tvarak.DesignBaseline))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dm, err := m.NewMapping("data", 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := m.Engine()
+	good := bytes.Repeat([]byte{0xAA}, 64)
+	newer := bytes.Repeat([]byte{0xBB}, 64)
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) { dm.Store(c, 0, good) }})
+	eng.DropCaches()
+	eng.NVM.InjectLostWrite(dm.Addr(0))
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) { dm.Store(c, 0, newer) }})
+	eng.DropCaches()
+	var got []byte
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		got = make([]byte, 64)
+		dm.Load(c, 0, got)
+	}})
+	fmt.Printf("wrote 0xBB.., read back 0x%X.. — stale data silently consumed (ECC errors: %d)\n",
+		got[0], eng.St.ECCErrors)
+}
+
+func tvarakDetectsAndRecovers() {
+	m, err := tvarak.NewMachine(tvarak.ReproScaleConfig(tvarak.DesignTvarak))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dm, err := m.NewMapping("data", 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := m.Engine()
+	m.Controller().CorruptionHook = func(addr uint64) {
+		fmt.Printf("controller raised corruption interrupt for %#x\n", addr)
+	}
+	good := bytes.Repeat([]byte{0xAA}, 64)
+	newer := bytes.Repeat([]byte{0xBB}, 64)
+	victim := bytes.Repeat([]byte{0xCC}, 64)
+
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		dm.Store(c, 0, good)
+		dm.Store(c, 64*9, victim)
+	}})
+	eng.DropCaches()
+
+	// Misdirected write: the update intended for offset 0 lands on the
+	// victim line, corrupting it (Fig. 2).
+	eng.NVM.InjectMisdirectedWrite(dm.Addr(0), dm.Addr(64*9))
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) { dm.Store(c, 0, newer) }})
+	eng.DropCaches()
+
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		got := make([]byte, 64)
+		dm.Load(c, 0, got) // stale: detected + recovered to 0xBB
+		fmt.Printf("offset 0    reads 0x%X.. (want BB)\n", got[0])
+		dm.Load(c, 64*9, got) // clobbered: detected + recovered to 0xCC
+		fmt.Printf("offset 576  reads 0x%X.. (want CC)\n", got[0])
+	}})
+	st := m.Stats()
+	fmt.Printf("detections=%d recoveries=%d — both lines repaired from cross-DIMM parity\n",
+		st.CorruptionsDetected, st.Recoveries)
+}

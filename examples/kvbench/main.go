@@ -1,0 +1,32 @@
+// Kvbench runs the Redis-like set-only workload under all four redundancy
+// designs and prints the Fig. 8(a)-style comparison — the paper's headline
+// result (TVARAK ≈ 3% overhead vs ~50% for TxB-Object-Csums and ~200% for
+// TxB-Page-Csums).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tvarak"
+	"tvarak/internal/apps/redispm"
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+)
+
+func main() {
+	table := &harness.Table{Title: "Redis set-only across redundancy designs"}
+	for _, d := range param.Designs() {
+		cfg := tvarak.ReproScaleConfig(d)
+		wcfg := redispm.Default(true)
+		wcfg.Ops = 2000 // quick demo scale
+		r, err := tvarak.RunWorkload(cfg, redispm.New(wcfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.Add(r)
+		fmt.Printf("%-17s done (%d cycles)\n", d, r.Stats.Cycles)
+	}
+	fmt.Println()
+	fmt.Println(table)
+}

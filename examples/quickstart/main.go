@@ -1,0 +1,65 @@
+// Quickstart: build a simulated machine with the TVARAK controller, mount
+// the DAX file system, map a file, and access it with simulated loads and
+// stores. Every NVM fill is checksum-verified and every writeback updates
+// checksums and cross-DIMM parity — visible in the printed statistics.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"tvarak"
+)
+
+func main() {
+	// A machine with the paper's parameters at reproduction scale, running
+	// the TVARAK design (use DesignBaseline/DesignTxB* for the others).
+	cfg := tvarak.ReproScaleConfig(tvarak.DesignTvarak)
+	m, err := tvarak.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Create and DAX-map a 1 MB file. The file system allocates the
+	// DAX-CL-checksum region and programs the controller's comparators.
+	dm, err := m.NewMapping("quickstart", 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run workload code on simulated cores. Core 0 writes a record and
+	// reads it back; every byte flows through L1/L2/LLC and NVM DIMMs.
+	record := []byte("TVARAK: software-managed hardware offload for DAX NVM redundancy")
+	eng := m.Engine()
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		dm.Store(c, 4096, record)
+		got := make([]byte, len(record))
+		dm.Load(c, 4096, got)
+		if !bytes.Equal(got, record) {
+			log.Fatal("read back wrong data")
+		}
+	}})
+
+	// Drop caches and read again: this time the data comes from NVM, so
+	// TVARAK verifies its DAX-CL-checksum on the fill.
+	eng.DropCaches()
+	eng.ResetMeasurement()
+	eng.Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		got := make([]byte, len(record))
+		dm.Load(c, 4096, got)
+	}})
+
+	st := m.Stats()
+	fmt.Println("cold read with verification:")
+	fmt.Printf("  runtime:            %d cycles\n", st.Cycles)
+	fmt.Printf("  NVM data reads:     %d\n", st.NVM.DataReads)
+	fmt.Printf("  NVM checksum reads: %d (redundancy)\n", st.NVM.RedReads)
+	fmt.Printf("  corruptions:        %d (clean media verifies)\n", st.CorruptionsDetected)
+
+	// The file system can scrub and recover too.
+	if bad := m.FS().Scrub(); len(bad) != 0 {
+		log.Fatalf("scrub found corruption: %+v", bad)
+	}
+	fmt.Println("scrub: all checksums verify")
+}

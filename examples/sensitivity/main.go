@@ -1,0 +1,39 @@
+// Sensitivity reproduces a slice of Fig. 10(a): how the number of LLC ways
+// reserved for caching redundancy information affects TVARAK's overhead for
+// the fio random-write workload (the paper's most partition-sensitive
+// synthetic workload).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tvarak"
+	"tvarak/internal/apps/fio"
+	"tvarak/internal/param"
+)
+
+func main() {
+	mk := func() tvarak.Workload {
+		cfg := fio.Default(fio.Rand, true)
+		cfg.AccessBytes = 1 << 20 // quick demo scale
+		return fio.New(cfg)
+	}
+	base, err := tvarak.RunWorkload(tvarak.ReproScaleConfig(param.Baseline), mk())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d cycles\n", base.Stats.Cycles)
+	for _, ways := range []int{1, 2, 4, 6, 8} {
+		cfg := tvarak.ReproScaleConfig(param.Tvarak)
+		cfg.Tvarak.RedundancyWays = ways
+		r, err := tvarak.RunWorkload(cfg, mk())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tvarak %d redundancy ways: %d cycles (%+.1f%% vs baseline, red NVM %d)\n",
+			ways, r.Stats.Cycles,
+			100*(float64(r.Stats.Cycles)/float64(base.Stats.Cycles)-1),
+			r.Stats.NVM.Redundancy())
+	}
+}

@@ -1,0 +1,3 @@
+module tvarak
+
+go 1.22

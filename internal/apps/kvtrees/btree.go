@@ -1,0 +1,224 @@
+package kvtrees
+
+import (
+	"encoding/binary"
+
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+)
+
+// B-Tree after PMDK's btree_map: order 8 (7 keys, 8 children per node).
+// Leaves store value-object offsets in the child slots. Inserts split
+// preemptively on the way down, so each insert touches at most O(height)
+// nodes, all logged transactionally.
+const (
+	btOrder  = 8
+	btKeys   = btOrder - 1
+	btN      = 0  // uint64: number of keys
+	btLeaf   = 8  // uint64: 1 if leaf
+	btKey0   = 16 // 7 keys
+	btPtr0   = 72 // 8 child (or 7 value) offsets
+	btNodeSz = 136
+)
+
+type btree struct {
+	h       *pmem.Heap
+	rootID  uint64
+	rootOff uint64
+	valSize int
+}
+
+func newBtree(c *sim.Core, h *pmem.Heap, valSize int) *btree {
+	t := &btree{h: h, valSize: valSize}
+	t.rootID, t.rootOff = h.Alloc(c, 8)
+	root := t.newNode(c, true)
+	h.Map.Store64(c, t.rootOff, root)
+	return t
+}
+
+// node is a volatile working copy of one B-tree node.
+type btNode struct {
+	off  uint64
+	n    int
+	leaf bool
+	keys [btKeys]uint64
+	ptrs [btOrder]uint64
+}
+
+func (t *btree) newNode(c *sim.Core, leaf bool) uint64 {
+	_, off := t.h.Alloc(c, btNodeSz)
+	var l uint64
+	if leaf {
+		l = 1
+	}
+	t.h.Map.Store64(c, off+btN, 0)
+	t.h.Map.Store64(c, off+btLeaf, l)
+	return off
+}
+
+// readNode loads a node's content with simulated loads.
+func (t *btree) readNode(c *sim.Core, off uint64) *btNode {
+	var buf [btNodeSz]byte
+	t.h.Map.Load(c, off, buf[:])
+	n := &btNode{off: off}
+	n.n = int(binary.LittleEndian.Uint64(buf[btN:]))
+	n.leaf = binary.LittleEndian.Uint64(buf[btLeaf:]) == 1
+	for i := 0; i < btKeys; i++ {
+		n.keys[i] = binary.LittleEndian.Uint64(buf[btKey0+8*i:])
+	}
+	for i := 0; i < btOrder; i++ {
+		n.ptrs[i] = binary.LittleEndian.Uint64(buf[btPtr0+8*i:])
+	}
+	return n
+}
+
+// writeNode persists a node's volatile copy transactionally. fresh marks
+// nodes allocated in this transaction (no undo logging needed).
+func (t *btree) writeNode(c *sim.Core, tx *pmem.Tx, n *btNode, fresh bool) {
+	var buf [btNodeSz]byte
+	var l uint64
+	if n.leaf {
+		l = 1
+	}
+	binary.LittleEndian.PutUint64(buf[btN:], uint64(n.n))
+	binary.LittleEndian.PutUint64(buf[btLeaf:], l)
+	for i := 0; i < btKeys; i++ {
+		binary.LittleEndian.PutUint64(buf[btKey0+8*i:], n.keys[i])
+	}
+	for i := 0; i < btOrder; i++ {
+		binary.LittleEndian.PutUint64(buf[btPtr0+8*i:], n.ptrs[i])
+	}
+	id := objID(c, t.h, n.off)
+	if fresh {
+		tx.WriteFresh(id, n.off, buf[:])
+	} else {
+		tx.Write(id, n.off, buf[:])
+	}
+}
+
+// splitChild splits full child ci of parent p (both already loaded).
+// Leaves split B+-style: the separator is copied up and all entries stay
+// in leaves; internal nodes move the separator up.
+func (t *btree) splitChild(c *sim.Core, tx *pmem.Tx, p *btNode, ci int, child *btNode) {
+	mid := btKeys / 2
+	sibOff := t.newNode(c, child.leaf)
+	sib := &btNode{off: sibOff, leaf: child.leaf}
+	if child.leaf {
+		sib.n = btKeys - mid
+		copy(sib.keys[:], child.keys[mid:])
+		copy(sib.ptrs[:], child.ptrs[mid:btKeys])
+	} else {
+		sib.n = btKeys - mid - 1
+		copy(sib.keys[:], child.keys[mid+1:])
+		copy(sib.ptrs[:], child.ptrs[mid+1:])
+	}
+	up := child.keys[mid]
+	child.n = mid
+	// Shift the parent to make room.
+	copy(p.keys[ci+1:], p.keys[ci:p.n])
+	copy(p.ptrs[ci+2:], p.ptrs[ci+1:p.n+1])
+	p.keys[ci] = up
+	p.ptrs[ci+1] = sibOff
+	p.n++
+	t.writeNode(c, tx, sib, true)
+	t.writeNode(c, tx, child, false)
+	t.writeNode(c, tx, p, false)
+}
+
+func (t *btree) insert(c *sim.Core, key uint64, val []byte) {
+	tx := t.h.Begin(c)
+	defer tx.Commit()
+	rootOff := t.h.Map.Load64(c, t.rootOff)
+	root := t.readNode(c, rootOff)
+	if root.n == btKeys {
+		nrOff := t.newNode(c, false)
+		nr := &btNode{off: nrOff}
+		nr.ptrs[0] = rootOff
+		t.splitChild(c, tx, nr, 0, root)
+		tx.Write64(t.rootID, t.rootOff, nrOff)
+		root = nr
+	}
+	t.insertNonFull(c, tx, root, key, val)
+}
+
+func (t *btree) insertNonFull(c *sim.Core, tx *pmem.Tx, n *btNode, key uint64, val []byte) {
+	for {
+		i := 0
+		for i < n.n && key > n.keys[i] {
+			i++
+		}
+		if i < n.n && n.keys[i] == key && n.leaf {
+			// Overwrite existing value.
+			vid, voff := objID(c, t.h, n.ptrs[i]), n.ptrs[i]
+			tx.Write(vid, voff, val)
+			return
+		}
+		if n.leaf {
+			vid, voff := t.h.Alloc(c, uint64(t.valSize))
+			tx.WriteFresh(vid, voff, val)
+			copy(n.keys[i+1:], n.keys[i:n.n])
+			copy(n.ptrs[i+1:], n.ptrs[i:n.n])
+			n.keys[i] = key
+			n.ptrs[i] = voff
+			n.n++
+			t.writeNode(c, tx, n, false)
+			return
+		}
+		if i < n.n && key == n.keys[i] {
+			i++ // equal keys live in the right subtree (B+-style)
+		}
+		child := t.readNode(c, n.ptrs[i])
+		if child.n == btKeys {
+			t.splitChild(c, tx, n, i, child)
+			if key >= n.keys[i] {
+				child = t.readNode(c, n.ptrs[i+1])
+			} else {
+				child = t.readNode(c, n.ptrs[i]) // reload post-split
+			}
+		}
+		n = child
+	}
+}
+
+// findLeafSlot descends to the leaf slot holding key, returning the value
+// offset (0 if absent).
+func (t *btree) findLeafSlot(c *sim.Core, key uint64) uint64 {
+	off := t.h.Map.Load64(c, t.rootOff)
+	for {
+		n := t.readNode(c, off)
+		i := 0
+		for i < n.n && key > n.keys[i] {
+			i++
+		}
+		if n.leaf {
+			if i < n.n && n.keys[i] == key {
+				return n.ptrs[i]
+			}
+			return 0
+		}
+		if i < n.n && n.keys[i] == key {
+			i++ // equal keys descend right of the separator... they live in leaves
+		}
+		off = n.ptrs[i]
+	}
+}
+
+func (t *btree) update(c *sim.Core, key uint64, val []byte) bool {
+	voff := t.findLeafSlot(c, key)
+	if voff == 0 {
+		return false
+	}
+	tx := t.h.Begin(c)
+	tx.Write(objID(c, t.h, voff), voff, val)
+	tx.Commit()
+	return true
+}
+
+func (t *btree) lookup(c *sim.Core, key uint64, buf []byte) bool {
+	voff := t.findLeafSlot(c, key)
+	if voff == 0 {
+		return false
+	}
+	t.h.Map.Load(c, voff, buf[:t.valSize])
+	return true
+}

@@ -1,0 +1,131 @@
+// Package kvtrees implements the three persistent-memory key-value data
+// structures of §IV-C — C-Tree (crit-bit trie), B-Tree, and RB-Tree, after
+// Intel PMDK's example maps — over the pmem transactional heap, plus the
+// pmembench-style workload mixes the paper runs (insert-only and 100:0 /
+// 50:50 / 0:100 update:read, 12 independent single-threaded instances).
+package kvtrees
+
+import (
+	"math/bits"
+
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+)
+
+// store is one persistent key-value structure instance.
+type store interface {
+	insert(c *sim.Core, key uint64, val []byte)
+	update(c *sim.Core, key uint64, val []byte) bool
+	lookup(c *sim.Core, key uint64, buf []byte) bool
+}
+
+// objID reads the pmem object id stored in the header preceding a payload.
+func objID(c *sim.Core, h *pmem.Heap, off uint64) uint64 {
+	return h.Map.Load64(c, off-8)
+}
+
+// ---------------------------------------------------------------------------
+// C-Tree: a crit-bit trie (PMDK ctree_map). Internal nodes hold the
+// critical bit index and two children; leaves hold key and inline value.
+// Child pointers tag internal nodes with bit 0 (offsets are 16-aligned).
+// ---------------------------------------------------------------------------
+
+type ctree struct {
+	h       *pmem.Heap
+	rootID  uint64
+	rootOff uint64
+	valSize int
+}
+
+func newCtree(c *sim.Core, h *pmem.Heap, valSize int) *ctree {
+	t := &ctree{h: h, valSize: valSize}
+	t.rootID, t.rootOff = h.Alloc(c, 8)
+	h.Map.Store64(c, t.rootOff, 0)
+	return t
+}
+
+const (
+	ctLeafKey = 0 // leaf: [key 8 | value ...]
+	ctBit     = 0 // internal: [bit 8 | child0 8 | child1 8]
+	ctChild   = 8
+)
+
+func isInternal(p uint64) bool { return p&1 == 1 }
+
+// find walks to the leaf that key would collide with. It returns the leaf
+// offset, or 0 for an empty tree.
+func (t *ctree) find(c *sim.Core, key uint64) uint64 {
+	p := t.h.Map.Load64(c, t.rootOff)
+	for isInternal(p) {
+		node := p &^ 1
+		bit := t.h.Map.Load64(c, node+ctBit)
+		dir := (key >> bit) & 1
+		p = t.h.Map.Load64(c, node+ctChild+8*dir)
+	}
+	return p
+}
+
+func (t *ctree) insert(c *sim.Core, key uint64, val []byte) {
+	tx := t.h.Begin(c)
+	defer tx.Commit()
+	leaf := t.find(c, key)
+	if leaf == 0 {
+		_, off := t.newLeaf(c, tx, key, val)
+		tx.Write64(t.rootID, t.rootOff, off)
+		return
+	}
+	lkey := t.h.Map.Load64(c, leaf+ctLeafKey)
+	if lkey == key {
+		tx.Write(objID(c, t.h, leaf), leaf+8, val)
+		return
+	}
+	diff := uint64(bits.Len64(key^lkey) - 1)
+	dir := (key >> diff) & 1
+	_, newLeafOff := t.newLeaf(c, tx, key, val)
+	nid, noff := t.h.Alloc(c, 24)
+	// Re-descend to the insertion point: the first edge whose subtree
+	// decides a bit lower than diff (crit-bit order is descending).
+	slotID, slotOff := t.rootID, t.rootOff
+	p := t.h.Map.Load64(c, t.rootOff)
+	for isInternal(p) {
+		node := p &^ 1
+		bit := t.h.Map.Load64(c, node+ctBit)
+		if bit < diff {
+			break
+		}
+		d := (key >> bit) & 1
+		slotID, slotOff = objID(c, t.h, node), node+ctChild+8*d
+		p = t.h.Map.Load64(c, slotOff)
+	}
+	tx.WriteFresh64(nid, noff+ctBit, diff)
+	tx.WriteFresh64(nid, noff+ctChild+8*dir, newLeafOff)
+	tx.WriteFresh64(nid, noff+ctChild+8*(1-dir), p)
+	tx.Write64(slotID, slotOff, noff|1)
+}
+
+func (t *ctree) newLeaf(c *sim.Core, tx *pmem.Tx, key uint64, val []byte) (uint64, uint64) {
+	id, off := t.h.Alloc(c, uint64(8+t.valSize))
+	tx.WriteFresh64(id, off+ctLeafKey, key)
+	tx.WriteFresh(id, off+8, val)
+	return id, off
+}
+
+func (t *ctree) update(c *sim.Core, key uint64, val []byte) bool {
+	leaf := t.find(c, key)
+	if leaf == 0 || t.h.Map.Load64(c, leaf) != key {
+		return false
+	}
+	tx := t.h.Begin(c)
+	tx.Write(objID(c, t.h, leaf), leaf+8, val)
+	tx.Commit()
+	return true
+}
+
+func (t *ctree) lookup(c *sim.Core, key uint64, buf []byte) bool {
+	leaf := t.find(c, key)
+	if leaf == 0 || t.h.Map.Load64(c, leaf) != key {
+		return false
+	}
+	t.h.Map.Load(c, leaf+8, buf[:t.valSize])
+	return true
+}

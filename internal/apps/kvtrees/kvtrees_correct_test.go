@@ -1,0 +1,133 @@
+package kvtrees
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+)
+
+// newStore builds one structure on a fresh small system for correctness
+// testing against a Go map.
+func storeFixture(t *testing.T, s Structure) (*harness.System, store) {
+	t.Helper()
+	cfg := param.SmallTest(param.Tvarak)
+	sys, err := harness.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.NewHeap("kv", 8<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st store
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		switch s {
+		case CTree:
+			st = newCtree(c, h, 32)
+		case BTree:
+			st = newBtree(c, h, 32)
+		case RBTree:
+			st = newRbtree(c, h, 32)
+		}
+	}})
+	_ = pmem.Range{}
+	return sys, st
+}
+
+// TestStoresMatchModel drives each structure with random inserts, updates
+// and lookups and checks every lookup against a Go-map model, under the
+// full TVARAK design (so checksums are verified throughout).
+func TestStoresMatchModel(t *testing.T) {
+	for _, s := range Structures() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			sys, st := storeFixture(t, s)
+			model := map[uint64][]byte{}
+			rng := rand.New(rand.NewSource(99))
+			sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+				for i := 0; i < 3000; i++ {
+					k := uint64(rng.Int63n(500))
+					switch rng.Intn(3) {
+					case 0:
+						v := make([]byte, 32)
+						rng.Read(v)
+						st.insert(c, k, v)
+						model[k] = v
+					case 1:
+						v := make([]byte, 32)
+						rng.Read(v)
+						if st.update(c, k, v) {
+							if _, ok := model[k]; !ok {
+								t.Fatalf("update of absent key %d succeeded", k)
+							}
+							model[k] = v
+						} else if _, ok := model[k]; ok {
+							t.Fatalf("update of present key %d failed", k)
+						}
+					default:
+						buf := make([]byte, 32)
+						ok := st.lookup(c, k, buf)
+						want, present := model[k]
+						if ok != present {
+							t.Fatalf("lookup(%d) presence = %v, want %v", k, ok, present)
+						}
+						if ok && !bytes.Equal(buf, want) {
+							t.Fatalf("lookup(%d) wrong value", k)
+						}
+					}
+				}
+			}})
+			if sys.Eng.St.CorruptionsDetected != 0 {
+				t.Errorf("false corruption detections: %d", sys.Eng.St.CorruptionsDetected)
+			}
+		})
+	}
+}
+
+// TestRBTreeInvariants checks red-black properties after many inserts.
+func TestRBTreeInvariants(t *testing.T) {
+	sys, st := storeFixture(t, RBTree)
+	rb := st.(*rbtree)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		v := make([]byte, 32)
+		for i := 0; i < 2000; i++ {
+			st.insert(c, keyScatter(uint64(i)), v)
+		}
+		root := rb.root(c)
+		if rb.color(c, root) != black {
+			t.Error("root is not black")
+		}
+		var check func(n uint64) int
+		check = func(n uint64) int {
+			if n == 0 {
+				return 1
+			}
+			l, r := rb.left(c, n), rb.right(c, n)
+			if rb.color(c, n) == red {
+				if rb.color(c, l) == red || rb.color(c, r) == red {
+					t.Error("red node with red child")
+				}
+			}
+			if l != 0 && rb.key(c, l) >= rb.key(c, n) {
+				t.Error("BST order violated (left)")
+			}
+			if r != 0 && rb.key(c, r) <= rb.key(c, n) {
+				t.Error("BST order violated (right)")
+			}
+			lb := check(l)
+			if rb2 := check(r); rb2 != lb {
+				t.Error("black height mismatch")
+			}
+			if rb.color(c, n) == black {
+				return lb + 1
+			}
+			return lb
+		}
+		check(root)
+	}})
+}

@@ -1,0 +1,233 @@
+package kvtrees
+
+import (
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+)
+
+// RB-Tree after PMDK's rbtree_map: a classic red-black tree with parent
+// pointers. Nodes hold the key, a value-object offset, color and the three
+// links; every mutation (insert, recolor, rotation) is transactionally
+// logged field by field, like the PMDK implementation.
+const (
+	rbKey    = 0
+	rbVal    = 8
+	rbColor  = 16 // 0 red, 1 black
+	rbLeft   = 24
+	rbRight  = 32
+	rbParent = 40
+	rbNodeSz = 48
+
+	red   = 0
+	black = 1
+)
+
+type rbtree struct {
+	h       *pmem.Heap
+	rootID  uint64
+	rootOff uint64
+	valSize int
+}
+
+func newRbtree(c *sim.Core, h *pmem.Heap, valSize int) *rbtree {
+	t := &rbtree{h: h, valSize: valSize}
+	t.rootID, t.rootOff = h.Alloc(c, 8)
+	h.Map.Store64(c, t.rootOff, 0)
+	return t
+}
+
+func (t *rbtree) root(c *sim.Core) uint64          { return t.h.Map.Load64(c, t.rootOff) }
+func (t *rbtree) key(c *sim.Core, n uint64) uint64 { return t.h.Map.Load64(c, n+rbKey) }
+func (t *rbtree) color(c *sim.Core, n uint64) uint64 {
+	if n == 0 {
+		return black // nil leaves are black
+	}
+	return t.h.Map.Load64(c, n+rbColor)
+}
+func (t *rbtree) left(c *sim.Core, n uint64) uint64   { return t.h.Map.Load64(c, n+rbLeft) }
+func (t *rbtree) right(c *sim.Core, n uint64) uint64  { return t.h.Map.Load64(c, n+rbRight) }
+func (t *rbtree) parent(c *sim.Core, n uint64) uint64 { return t.h.Map.Load64(c, n+rbParent) }
+
+func (t *rbtree) set(c *sim.Core, tx *pmem.Tx, n uint64, field uint64, v uint64) {
+	tx.Write64(objID(c, t.h, n), n+field, v)
+}
+
+func (t *rbtree) setRoot(c *sim.Core, tx *pmem.Tx, n uint64) {
+	tx.Write64(t.rootID, t.rootOff, n)
+}
+
+// findNode returns the node holding key, or 0.
+func (t *rbtree) findNode(c *sim.Core, key uint64) uint64 {
+	n := t.root(c)
+	for n != 0 {
+		k := t.key(c, n)
+		switch {
+		case key == k:
+			return n
+		case key < k:
+			n = t.left(c, n)
+		default:
+			n = t.right(c, n)
+		}
+	}
+	return 0
+}
+
+func (t *rbtree) rotateLeft(c *sim.Core, tx *pmem.Tx, x uint64) {
+	y := t.right(c, x)
+	yl := t.left(c, y)
+	t.set(c, tx, x, rbRight, yl)
+	if yl != 0 {
+		t.set(c, tx, yl, rbParent, x)
+	}
+	p := t.parent(c, x)
+	t.set(c, tx, y, rbParent, p)
+	switch {
+	case p == 0:
+		t.setRoot(c, tx, y)
+	case t.left(c, p) == x:
+		t.set(c, tx, p, rbLeft, y)
+	default:
+		t.set(c, tx, p, rbRight, y)
+	}
+	t.set(c, tx, y, rbLeft, x)
+	t.set(c, tx, x, rbParent, y)
+}
+
+func (t *rbtree) rotateRight(c *sim.Core, tx *pmem.Tx, x uint64) {
+	y := t.left(c, x)
+	yr := t.right(c, y)
+	t.set(c, tx, x, rbLeft, yr)
+	if yr != 0 {
+		t.set(c, tx, yr, rbParent, x)
+	}
+	p := t.parent(c, x)
+	t.set(c, tx, y, rbParent, p)
+	switch {
+	case p == 0:
+		t.setRoot(c, tx, y)
+	case t.right(c, p) == x:
+		t.set(c, tx, p, rbRight, y)
+	default:
+		t.set(c, tx, p, rbLeft, y)
+	}
+	t.set(c, tx, y, rbRight, x)
+	t.set(c, tx, x, rbParent, y)
+}
+
+func (t *rbtree) insert(c *sim.Core, key uint64, val []byte) {
+	tx := t.h.Begin(c)
+	defer tx.Commit()
+	// BST descent.
+	var parent uint64
+	n := t.root(c)
+	for n != 0 {
+		parent = n
+		k := t.key(c, n)
+		if key == k {
+			voff := t.h.Map.Load64(c, n+rbVal)
+			tx.Write(objID(c, t.h, voff), voff, val)
+			return
+		}
+		if key < k {
+			n = t.left(c, n)
+		} else {
+			n = t.right(c, n)
+		}
+	}
+	vid, voff := t.h.Alloc(c, uint64(t.valSize))
+	tx.WriteFresh(vid, voff, val)
+	nid, noff := t.h.Alloc(c, rbNodeSz)
+	tx.WriteFresh64(nid, noff+rbKey, key)
+	tx.WriteFresh64(nid, noff+rbVal, voff)
+	tx.WriteFresh64(nid, noff+rbColor, red)
+	tx.WriteFresh64(nid, noff+rbLeft, 0)
+	tx.WriteFresh64(nid, noff+rbRight, 0)
+	tx.WriteFresh64(nid, noff+rbParent, parent)
+	switch {
+	case parent == 0:
+		t.setRoot(c, tx, noff)
+	case key < t.key(c, parent):
+		t.set(c, tx, parent, rbLeft, noff)
+	default:
+		t.set(c, tx, parent, rbRight, noff)
+	}
+	t.fixInsert(c, tx, noff)
+}
+
+// fixInsert restores red-black invariants after inserting red node z.
+func (t *rbtree) fixInsert(c *sim.Core, tx *pmem.Tx, z uint64) {
+	for {
+		p := t.parent(c, z)
+		if p == 0 || t.color(c, p) == black {
+			break
+		}
+		g := t.parent(c, p)
+		if g == 0 {
+			break
+		}
+		if t.left(c, g) == p {
+			u := t.right(c, g)
+			if t.color(c, u) == red {
+				t.set(c, tx, p, rbColor, black)
+				t.set(c, tx, u, rbColor, black)
+				t.set(c, tx, g, rbColor, red)
+				z = g
+				continue
+			}
+			if t.right(c, p) == z {
+				z = p
+				t.rotateLeft(c, tx, z)
+				p = t.parent(c, z)
+				g = t.parent(c, p)
+			}
+			t.set(c, tx, p, rbColor, black)
+			t.set(c, tx, g, rbColor, red)
+			t.rotateRight(c, tx, g)
+		} else {
+			u := t.left(c, g)
+			if t.color(c, u) == red {
+				t.set(c, tx, p, rbColor, black)
+				t.set(c, tx, u, rbColor, black)
+				t.set(c, tx, g, rbColor, red)
+				z = g
+				continue
+			}
+			if t.left(c, p) == z {
+				z = p
+				t.rotateRight(c, tx, z)
+				p = t.parent(c, z)
+				g = t.parent(c, p)
+			}
+			t.set(c, tx, p, rbColor, black)
+			t.set(c, tx, g, rbColor, red)
+			t.rotateLeft(c, tx, g)
+		}
+	}
+	r := t.root(c)
+	if t.color(c, r) == red {
+		t.set(c, tx, r, rbColor, black)
+	}
+}
+
+func (t *rbtree) update(c *sim.Core, key uint64, val []byte) bool {
+	n := t.findNode(c, key)
+	if n == 0 {
+		return false
+	}
+	voff := t.h.Map.Load64(c, n+rbVal)
+	tx := t.h.Begin(c)
+	tx.Write(objID(c, t.h, voff), voff, val)
+	tx.Commit()
+	return true
+}
+
+func (t *rbtree) lookup(c *sim.Core, key uint64, buf []byte) bool {
+	n := t.findNode(c, key)
+	if n == 0 {
+		return false
+	}
+	voff := t.h.Map.Load64(c, n+rbVal)
+	t.h.Map.Load(c, voff, buf[:t.valSize])
+	return true
+}

@@ -1,0 +1,185 @@
+package kvtrees
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tvarak/internal/harness"
+	"tvarak/internal/sim"
+)
+
+// Structure selects the data structure under test.
+type Structure int
+
+const (
+	CTree Structure = iota
+	BTree
+	RBTree
+)
+
+// String returns the Table II name.
+func (s Structure) String() string {
+	switch s {
+	case CTree:
+		return "ctree"
+	case BTree:
+		return "btree"
+	case RBTree:
+		return "rbtree"
+	}
+	return fmt.Sprintf("Structure(%d)", int(s))
+}
+
+// Structures lists all three.
+func Structures() []Structure { return []Structure{CTree, BTree, RBTree} }
+
+// Mix is the pmembench workload mix (update percentage of non-insert ops;
+// InsertOnly inserts fresh keys instead).
+type Mix int
+
+const (
+	InsertOnly Mix = iota
+	UpdateOnly     // 100:0 updates:reads
+	Balanced       // 50:50
+	ReadOnly       // 0:100
+)
+
+// String returns the workload label.
+func (m Mix) String() string {
+	switch m {
+	case InsertOnly:
+		return "insert"
+	case UpdateOnly:
+		return "update"
+	case Balanced:
+		return "balanced"
+	case ReadOnly:
+		return "read"
+	}
+	return fmt.Sprintf("Mix(%d)", int(m))
+}
+
+// Mixes lists the paper's four workload mixes.
+func Mixes() []Mix { return []Mix{InsertOnly, UpdateOnly, Balanced, ReadOnly} }
+
+// Config shapes a key-value-structure workload.
+type Config struct {
+	Structure  Structure
+	Mix        Mix
+	Instances  int
+	Keys       uint64 // preloaded keys per instance
+	Ops        int    // measured operations per instance
+	ValueSize  int
+	ComputeCyc uint64 // per-op request handling cost
+	HeapBytes  uint64
+	Seed       int64
+}
+
+// Default returns the paper-shaped configuration at reproduction scale:
+// 12 independent single-threaded instances (the paper removes locks and
+// runs 12 instances to stress NVM).
+func Default(s Structure, m Mix) Config {
+	return Config{
+		Structure:  s,
+		Mix:        m,
+		Instances:  12,
+		Keys:       4096,
+		Ops:        4000,
+		ValueSize:  128,
+		ComputeCyc: 3000,
+		HeapBytes:  4 << 20,
+		Seed:       1,
+	}
+}
+
+// Workload implements harness.Workload.
+type Workload struct {
+	Cfg    Config
+	stores []store
+}
+
+// New returns the workload.
+func New(cfg Config) *Workload { return &Workload{Cfg: cfg} }
+
+// Name implements harness.Workload.
+func (w *Workload) Name() string {
+	return fmt.Sprintf("%s/%s", w.Cfg.Structure, w.Cfg.Mix)
+}
+
+// Setup implements harness.Workload: one heap and structure per instance,
+// preloaded with Keys tuples.
+func (w *Workload) Setup(s *harness.System) error {
+	cfg := w.Cfg
+	if cfg.Instances > s.Cfg.Cores {
+		return fmt.Errorf("kvtrees: %d instances > %d cores", cfg.Instances, s.Cfg.Cores)
+	}
+	w.stores = make([]store, cfg.Instances)
+	workers := make([]func(*sim.Core), cfg.Instances)
+	for i := 0; i < cfg.Instances; i++ {
+		h, err := s.NewHeap(fmt.Sprintf("%s-%d", cfg.Structure, i), cfg.HeapBytes, cfg.Keys*8+uint64(cfg.Ops)*4+4096)
+		if err != nil {
+			return err
+		}
+		i := i
+		seed := cfg.Seed + int64(i)
+		workers[i] = func(c *sim.Core) {
+			var st store
+			switch cfg.Structure {
+			case CTree:
+				st = newCtree(c, h, cfg.ValueSize)
+			case BTree:
+				st = newBtree(c, h, cfg.ValueSize)
+			case RBTree:
+				st = newRbtree(c, h, cfg.ValueSize)
+			}
+			w.stores[i] = st
+			rng := rand.New(rand.NewSource(seed))
+			val := make([]byte, cfg.ValueSize)
+			for k := uint64(0); k < cfg.Keys; k++ {
+				rng.Read(val)
+				st.insert(c, keyScatter(k), val)
+			}
+		}
+	}
+	s.Eng.Run(workers)
+	return nil
+}
+
+// keyScatter spreads dense key ordinals over the key space so tree shapes
+// are not degenerate insertion-order artifacts.
+func keyScatter(k uint64) uint64 {
+	k *= 0xbf58476d1ce4e5b9
+	return k ^ (k >> 31)
+}
+
+// Workers implements harness.Workload.
+func (w *Workload) Workers(s *harness.System) []func(*sim.Core) {
+	cfg := w.Cfg
+	workers := make([]func(*sim.Core), cfg.Instances)
+	for i := 0; i < cfg.Instances; i++ {
+		st := w.stores[i]
+		seed := cfg.Seed + 5000 + int64(i)
+		workers[i] = func(c *sim.Core) {
+			rng := rand.New(rand.NewSource(seed))
+			val := make([]byte, cfg.ValueSize)
+			buf := make([]byte, cfg.ValueSize)
+			for op := 0; op < cfg.Ops; op++ {
+				c.Compute(cfg.ComputeCyc)
+				switch {
+				case cfg.Mix == InsertOnly:
+					rng.Read(val)
+					st.insert(c, keyScatter(cfg.Keys+uint64(op)), val)
+				case cfg.Mix == UpdateOnly,
+					cfg.Mix == Balanced && op%2 == 0:
+					rng.Read(val)
+					k := keyScatter(uint64(rng.Int63n(int64(cfg.Keys))))
+					st.update(c, k, val)
+				default:
+					k := keyScatter(uint64(rng.Int63n(int64(cfg.Keys))))
+					st.lookup(c, k, buf)
+				}
+			}
+		}
+	}
+	return workers
+}

@@ -1,0 +1,79 @@
+package nstore_test
+
+import (
+	"testing"
+
+	"tvarak/internal/apps/nstore"
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+)
+
+func smallCfg(m nstore.Mix) nstore.Config {
+	return nstore.Config{
+		Mix: m, Clients: 2, Tuples: 1024, TupleBytes: 256, FieldBytes: 64,
+		Txns: 400, ComputeCyc: 100, HeapBytes: 8 << 20, Seed: 1,
+	}
+}
+
+func TestRunsUnderAllDesignsAndMixes(t *testing.T) {
+	for _, d := range param.Designs() {
+		for _, m := range nstore.Mixes() {
+			r, err := harness.Run(param.SmallTest(d), nstore.New(smallCfg(m)))
+			if err != nil {
+				t.Fatalf("%v/%v: %v", d, m, err)
+			}
+			if r.Stats.CorruptionsDetected != 0 {
+				t.Errorf("%v/%v: false corruptions", d, m)
+			}
+		}
+	}
+}
+
+func TestMixNames(t *testing.T) {
+	want := map[nstore.Mix]string{
+		nstore.ReadHeavy:   "nstore/read-heavy",
+		nstore.BalancedMix: "nstore/balanced",
+		nstore.UpdateHeavy: "nstore/update-heavy",
+	}
+	for m, n := range want {
+		if got := nstore.New(nstore.Default(m)).Name(); got != n {
+			t.Errorf("Name = %q, want %q", got, n)
+		}
+	}
+	if nstore.ReadHeavy.UpdatePct() != 10 || nstore.UpdateHeavy.UpdatePct() != 90 {
+		t.Error("update percentages wrong")
+	}
+}
+
+func TestUpdateHeavyWritesMoreThanReadHeavy(t *testing.T) {
+	var writes [2]uint64
+	for i, m := range []nstore.Mix{nstore.ReadHeavy, nstore.UpdateHeavy} {
+		r, err := harness.Run(param.SmallTest(param.Baseline), nstore.New(smallCfg(m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes[i] = r.Stats.NVM.DataWrites
+	}
+	if writes[1] < writes[0]*3 {
+		t.Errorf("update-heavy writes (%d) not clearly above read-heavy (%d)", writes[1], writes[0])
+	}
+}
+
+func TestWALFragmentationHurtsTvarakMoreThanReads(t *testing.T) {
+	// The linked-list WAL's random placement should make update-heavy
+	// redundancy traffic per data write higher than read-heavy's (poor
+	// redundancy-cache reuse — the paper's §IV-D point).
+	ratio := func(m nstore.Mix) float64 {
+		r, err := harness.Run(param.SmallTest(param.Tvarak), nstore.New(smallCfg(m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stats.NVM.DataWrites == 0 {
+			return 0
+		}
+		return float64(r.Stats.NVM.Redundancy()) / float64(r.Stats.NVM.DataWrites)
+	}
+	if ru := ratio(nstore.UpdateHeavy); ru < 0.5 {
+		t.Errorf("update-heavy redundancy-per-write = %.2f, want >= 0.5 (random WAL kills reuse)", ru)
+	}
+}

@@ -1,0 +1,328 @@
+// Package redispm is the Redis-like persistent key-value store of §IV-B:
+// a single-threaded hashtable server ported to a persistent-memory heap
+// (as the paper modifies Redis v3.1 with PMDK's libpmemobj). It keeps
+// Redis's signature incremental-rehashing design: every command — get
+// included — runs a transaction and migrates one bucket when a rehash is in
+// flight, which is why even get-only workloads write persistent transaction
+// metadata (the effect the paper calls out in Fig. 8(a)).
+//
+// Multiple independent instances run in parallel, one per core, mirroring
+// the paper's 1–6 Redis instance sweep.
+package redispm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"tvarak/internal/harness"
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+)
+
+const (
+	bucketsPerChunk = 256
+	entryHeader     = 24 // [key 8 | next 8 | vlen 8]
+)
+
+// Config shapes a Redis workload.
+type Config struct {
+	Instances int    // parallel single-threaded instances (≤ cores)
+	Keys      uint64 // keyspace per instance (preloaded)
+	Ops       int    // measured requests per instance
+	ValueSize int
+	SetOnly   bool // true = set-only, false = get-only
+	// RehashEvery migrates one bucket every Nth command while a rehash is
+	// in flight, modelling Redis's time-bounded incremental rehashing
+	// (rehashing runs for 1 ms out of every 100 ms plus one lazy step per
+	// touched bucket).
+	RehashEvery int
+	ComputeCyc  uint64
+	HeapBytes   uint64
+	Seed        int64
+}
+
+// Default returns the paper-shaped configuration scaled for simulation.
+func Default(setOnly bool) Config {
+	return Config{
+		Instances:   6,
+		Keys:        8192,
+		Ops:         8000,
+		ValueSize:   128,
+		SetOnly:     setOnly,
+		RehashEvery: 24,
+		ComputeCyc:  2000, // command parse/dispatch cost (calibration: see EXPERIMENTS.md)
+		HeapBytes:   8 << 20,
+		Seed:        1,
+	}
+}
+
+// table is one hashtable generation: a persistent pointer array split into
+// chunk objects of 256 buckets.
+type table struct {
+	nBuckets uint64
+	tabID    uint64 // object holding chunk offsets
+	tabOff   uint64
+	chunkIDs []uint64
+}
+
+// instance is one Redis server.
+type instance struct {
+	h           *pmem.Heap
+	rehashEvery int
+	opCount     int
+	t0          *table // active
+	t1          *table // rehash target (nil unless rehashing)
+	rehashIdx   uint64
+	used        uint64
+}
+
+// Workload implements harness.Workload.
+type Workload struct {
+	Cfg  Config
+	inst []*instance
+}
+
+// New returns the workload.
+func New(cfg Config) *Workload { return &Workload{Cfg: cfg} }
+
+// Name implements harness.Workload.
+func (w *Workload) Name() string {
+	if w.Cfg.SetOnly {
+		return "redis/set"
+	}
+	return "redis/get"
+}
+
+func hashKey(k uint64) uint64 {
+	k *= 0x9e3779b97f4a7c15
+	return k ^ (k >> 29)
+}
+
+// newTable allocates a table generation of n buckets on core c.
+func (in *instance) newTable(c *sim.Core, n uint64) *table {
+	t := &table{nBuckets: n}
+	nChunks := (n + bucketsPerChunk - 1) / bucketsPerChunk
+	t.tabID, t.tabOff = in.h.Alloc(c, nChunks*8)
+	t.chunkIDs = make([]uint64, nChunks)
+	for i := uint64(0); i < nChunks; i++ {
+		id, off := in.h.Alloc(c, bucketsPerChunk*8)
+		t.chunkIDs[i] = id
+		// Publish the chunk pointer in the table object.
+		in.h.Map.Store64(c, t.tabOff+i*8, off)
+		// Clear buckets (fresh objects may reuse freed storage).
+		zero := make([]byte, bucketsPerChunk*8)
+		in.h.Map.Store(c, off, zero)
+	}
+	return t
+}
+
+// bucketSlot loads the chunk pointer and returns (chunk object id, slot
+// offset) for bucket b.
+func (in *instance) bucketSlot(c *sim.Core, t *table, b uint64) (uint64, uint64) {
+	chunk := b / bucketsPerChunk
+	chunkOff := in.h.Map.Load64(c, t.tabOff+chunk*8)
+	return t.chunkIDs[chunk], chunkOff + (b%bucketsPerChunk)*8
+}
+
+// findEntry walks bucket b of table t for key, returning the entry offset
+// (0 if absent).
+func (in *instance) findEntry(c *sim.Core, t *table, b uint64, key uint64) uint64 {
+	_, slot := in.bucketSlot(c, t, b)
+	e := in.h.Map.Load64(c, slot)
+	for e != 0 {
+		if in.h.Map.Load64(c, e) == key {
+			return e
+		}
+		e = in.h.Map.Load64(c, e+8)
+	}
+	return 0
+}
+
+// entryObjID recovers the object id from the header preceding the payload.
+func (in *instance) entryObjID(c *sim.Core, e uint64) uint64 {
+	return in.h.Map.Load64(c, e-8)
+}
+
+// rehashStep migrates one bucket from t0 to t1 inside tx every
+// rehashEvery-th command, Redis-style.
+func (in *instance) rehashStep(c *sim.Core, tx *pmem.Tx) {
+	if in.t1 == nil {
+		return
+	}
+	in.opCount++
+	if in.rehashEvery > 1 && in.opCount%in.rehashEvery != 0 {
+		return
+	}
+	b := in.rehashIdx
+	srcID, srcSlot := in.bucketSlot(c, in.t0, b)
+	e := in.h.Map.Load64(c, srcSlot)
+	for e != 0 {
+		next := in.h.Map.Load64(c, e+8)
+		key := in.h.Map.Load64(c, e)
+		nb := hashKey(key) % in.t1.nBuckets
+		dstID, dstSlot := in.bucketSlot(c, in.t1, nb)
+		head := in.h.Map.Load64(c, dstSlot)
+		eid := in.entryObjID(c, e)
+		tx.Write64(eid, e+8, head)
+		tx.Write64(dstID, dstSlot, e)
+		e = next
+	}
+	tx.Write64(srcID, srcSlot, 0)
+	in.rehashIdx++
+	if in.rehashIdx >= in.t0.nBuckets {
+		// Rehash complete: t1 becomes the active table.
+		for _, id := range in.t0.chunkIDs {
+			in.h.Free(c, id)
+		}
+		in.h.Free(c, in.t0.tabID)
+		in.t0, in.t1 = in.t1, nil
+		in.rehashIdx = 0
+	}
+}
+
+// startRehashIfNeeded begins an incremental rehash at load factor 1.
+func (in *instance) startRehashIfNeeded(c *sim.Core) {
+	if in.t1 == nil && in.used > in.t0.nBuckets {
+		in.t1 = in.newTable(c, in.t0.nBuckets*2)
+		in.rehashIdx = 0
+	}
+}
+
+// set executes one SET command.
+func (in *instance) set(c *sim.Core, key uint64, val []byte) {
+	tx := in.h.Begin(c)
+	in.rehashStep(c, tx)
+	b0 := hashKey(key) % in.t0.nBuckets
+	if e := in.findEntry(c, in.t0, b0, key); e != 0 {
+		tx.Write(in.entryObjID(c, e), e+entryHeader, val)
+		tx.Commit()
+		return
+	}
+	if in.t1 != nil {
+		b1 := hashKey(key) % in.t1.nBuckets
+		if e := in.findEntry(c, in.t1, b1, key); e != 0 {
+			tx.Write(in.entryObjID(c, e), e+entryHeader, val)
+			tx.Commit()
+			return
+		}
+	}
+	// Insert a new entry (into t1 when rehashing, as Redis does).
+	t := in.t0
+	b := b0
+	if in.t1 != nil {
+		t = in.t1
+		b = hashKey(key) % t.nBuckets
+	}
+	id, off := in.h.Alloc(c, uint64(entryHeader+len(val)))
+	bid, slot := in.bucketSlot(c, t, b)
+	head := in.h.Map.Load64(c, slot)
+	var hdr [entryHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:], key)
+	binary.LittleEndian.PutUint64(hdr[8:], head)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(val)))
+	tx.WriteFresh(id, off, hdr[:])
+	tx.WriteFresh(id, off+entryHeader, val)
+	tx.Write64(bid, slot, off)
+	in.used++
+	tx.Commit()
+	in.startRehashIfNeeded(c)
+}
+
+// get executes one GET command. Like the paper's Redis, it still runs a
+// transaction (rehash bookkeeping and transaction state are persistent
+// writes even for reads).
+func (in *instance) get(c *sim.Core, key uint64, buf []byte) bool {
+	tx := in.h.Begin(c)
+	in.rehashStep(c, tx)
+	found := false
+	if e := in.findEntry(c, in.t0, hashKey(key)%in.t0.nBuckets, key); e != 0 {
+		vlen := in.h.Map.Load64(c, e+16)
+		in.h.Map.Load(c, e+entryHeader, buf[:min(vlen, uint64(len(buf)))])
+		found = true
+	} else if in.t1 != nil {
+		if e := in.findEntry(c, in.t1, hashKey(key)%in.t1.nBuckets, key); e != 0 {
+			vlen := in.h.Map.Load64(c, e+16)
+			in.h.Map.Load(c, e+entryHeader, buf[:min(vlen, uint64(len(buf)))])
+			found = true
+		}
+	}
+	tx.Commit()
+	return found
+}
+
+// Setup implements harness.Workload: build one heap per instance and
+// preload the keyspace so the measured phase runs against a populated,
+// actively rehashing table.
+func (w *Workload) Setup(s *harness.System) error {
+	cfg := w.Cfg
+	if cfg.Instances > s.Cfg.Cores {
+		return fmt.Errorf("redispm: %d instances > %d cores", cfg.Instances, s.Cfg.Cores)
+	}
+	w.inst = make([]*instance, cfg.Instances)
+	for i := range w.inst {
+		h, err := s.NewHeap(fmt.Sprintf("redis-%d", i), cfg.HeapBytes, cfg.Keys*8+4096)
+		if err != nil {
+			return err
+		}
+		re := cfg.RehashEvery
+		if re <= 0 {
+			re = 1
+		}
+		w.inst[i] = &instance{h: h, rehashEvery: re}
+	}
+	workers := make([]func(*sim.Core), cfg.Instances)
+	for i := range w.inst {
+		in := w.inst[i]
+		seed := cfg.Seed + int64(i)
+		workers[i] = func(c *sim.Core) {
+			// Initial table at load factor 1 for the preload, then force
+			// an incremental rehash so migration is in flight across the
+			// whole measured phase — the long-running-Redis state whose
+			// per-request migration transactions the paper calls out for
+			// get-only workloads.
+			n := uint64(1)
+			for n < cfg.Keys {
+				n *= 2
+			}
+			in.t0 = in.newTable(c, n)
+			rng := rand.New(rand.NewSource(seed))
+			val := make([]byte, cfg.ValueSize)
+			for k := uint64(0); k < cfg.Keys; k++ {
+				rng.Read(val)
+				in.set(c, k, val)
+			}
+			if in.t1 == nil {
+				in.t1 = in.newTable(c, in.t0.nBuckets*2)
+				in.rehashIdx = 0
+			}
+		}
+	}
+	s.Eng.Run(workers)
+	return nil
+}
+
+// Workers implements harness.Workload: the measured request streams.
+func (w *Workload) Workers(s *harness.System) []func(*sim.Core) {
+	cfg := w.Cfg
+	workers := make([]func(*sim.Core), cfg.Instances)
+	for i := range w.inst {
+		in := w.inst[i]
+		seed := cfg.Seed + 1000 + int64(i)
+		workers[i] = func(c *sim.Core) {
+			rng := rand.New(rand.NewSource(seed))
+			val := make([]byte, cfg.ValueSize)
+			for op := 0; op < cfg.Ops; op++ {
+				c.Compute(cfg.ComputeCyc)
+				key := uint64(rng.Int63n(int64(cfg.Keys)))
+				if cfg.SetOnly {
+					rng.Read(val)
+					in.set(c, key, val)
+				} else {
+					in.get(c, key, val)
+				}
+			}
+		}
+	}
+	return workers
+}

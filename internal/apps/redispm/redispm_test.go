@@ -1,0 +1,89 @@
+package redispm_test
+
+import (
+	"testing"
+
+	"tvarak/internal/apps/redispm"
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+)
+
+func smallCfg(setOnly bool) redispm.Config {
+	return redispm.Config{
+		Instances: 2, Keys: 512, Ops: 300, ValueSize: 64,
+		SetOnly: setOnly, RehashEvery: 4, ComputeCyc: 100,
+		HeapBytes: 4 << 20, Seed: 1,
+	}
+}
+
+func TestRunsUnderAllDesigns(t *testing.T) {
+	for _, d := range param.Designs() {
+		for _, setOnly := range []bool{true, false} {
+			w := redispm.New(smallCfg(setOnly))
+			r, err := harness.Run(param.SmallTest(d), w)
+			if err != nil {
+				t.Fatalf("%v setOnly=%v: %v", d, setOnly, err)
+			}
+			if r.Stats.Cycles == 0 {
+				t.Errorf("%v: zero runtime", d)
+			}
+			if r.Stats.CorruptionsDetected != 0 {
+				t.Errorf("%v: false corruption detections", d)
+			}
+		}
+	}
+}
+
+func TestGetOnlyStillWritesNVM(t *testing.T) {
+	// The paper's observation: Redis gets run transactions (rehash
+	// bookkeeping + tx state), so even get-only workloads write NVM.
+	w := redispm.New(smallCfg(false))
+	r, err := harness.Run(param.SmallTest(param.Baseline), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.NVM.DataWrites == 0 {
+		t.Error("get-only workload wrote nothing to NVM; rehash/tx metadata writes missing")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (uint64, uint64) {
+		w := redispm.New(smallCfg(true))
+		r, err := harness.Run(param.SmallTest(param.Tvarak), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats.Cycles, r.Stats.NVM.Total()
+	}
+	c1, n1 := run()
+	c2, n2 := run()
+	if c1 != c2 || n1 != n2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", c1, n1, c2, n2)
+	}
+}
+
+func TestFixedWorkAcrossDesigns(t *testing.T) {
+	// Fixed-work methodology: the application issues identical L1 traffic
+	// under Baseline and Tvarak (the controller works below the LLC).
+	var l1 [2]uint64
+	for i, d := range []param.Design{param.Baseline, param.Tvarak} {
+		r, err := harness.Run(param.SmallTest(d), redispm.New(smallCfg(true)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1[i] = r.Stats.Cache[0].Total()
+	}
+	if l1[0] != l1[1] {
+		t.Errorf("L1 accesses differ across designs: %d vs %d (work not fixed)", l1[0], l1[1])
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := redispm.New(redispm.Default(true)).Name(); got != "redis/set" {
+		t.Errorf("Name() = %q", got)
+	}
+	if got := redispm.New(redispm.Default(false)).Name(); got != "redis/get" {
+		t.Errorf("Name() = %q", got)
+	}
+}

@@ -1,0 +1,185 @@
+// Package stream reproduces the STREAM memory-bandwidth kernels of §IV-F
+// (Copy, Scale, Add, Triad), modified as in the paper to keep their arrays
+// in DAX-mapped persistent memory. Twelve threads partition the arrays into
+// non-overlapping chunks; the baseline saturates NVM bandwidth, which is
+// why all redundancy designs show their largest overheads here.
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tvarak/internal/daxfs"
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+	"tvarak/internal/sim"
+	"tvarak/internal/swred"
+)
+
+// Kernel is one STREAM kernel.
+type Kernel int
+
+const (
+	Copy Kernel = iota
+	Scale
+	Add
+	Triad
+)
+
+// String returns the kernel name.
+func (k Kernel) String() string {
+	switch k {
+	case Copy:
+		return "copy"
+	case Scale:
+		return "scale"
+	case Add:
+		return "add"
+	case Triad:
+		return "triad"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// Kernels lists all four.
+func Kernels() []Kernel { return []Kernel{Copy, Scale, Add, Triad} }
+
+// Config shapes a stream workload.
+type Config struct {
+	Kernel     Kernel
+	Threads    int
+	ArrayBytes uint64 // per array (three arrays; the paper uses 128 MB each)
+	ComputeCyc uint64 // per-line vector arithmetic cost
+	Seed       int64
+}
+
+// Default returns the paper-shaped configuration at reproduction scale.
+func Default(k Kernel) Config {
+	return Config{
+		Kernel:     k,
+		Threads:    12,
+		ArrayBytes: 8 << 20,
+		ComputeCyc: 2,
+		Seed:       1,
+	}
+}
+
+// Workload implements harness.Workload.
+type Workload struct {
+	Cfg Config
+	m   *daxfs.DaxMap
+	raw *swred.RawScheme
+
+	a, b, cOff uint64 // array offsets within the mapping
+	scalar     uint64
+}
+
+// New returns the workload.
+func New(cfg Config) *Workload { return &Workload{Cfg: cfg, scalar: 3} }
+
+// Name implements harness.Workload.
+func (w *Workload) Name() string { return "stream/" + w.Cfg.Kernel.String() }
+
+// Setup implements harness.Workload: one mapping holding the three arrays,
+// prefilled raw.
+func (w *Workload) Setup(s *harness.System) error {
+	cfg := w.Cfg
+	if cfg.Threads > s.Cfg.Cores {
+		return fmt.Errorf("stream: %d threads > %d cores", cfg.Threads, s.Cfg.Cores)
+	}
+	m, err := s.NewMapping("stream", 3*cfg.ArrayBytes)
+	if err != nil {
+		return err
+	}
+	w.m = m
+	w.a, w.b, w.cOff = 0, cfg.ArrayBytes, 2*cfg.ArrayBytes
+	switch s.Cfg.Design {
+	case param.TxBObjectCsums, param.TxBPageCsums:
+		w.raw, err = swred.AttachRaw(s.FS, m, s.Cfg.Design, 64)
+		if err != nil {
+			return err
+		}
+	}
+	// Prefill arrays with a raw deterministic ramp and reconcile redundancy.
+	geo := s.FS.Geometry()
+	ps := uint64(geo.PageSize)
+	page := make([]byte, ps)
+	for off := uint64(0); off < m.Size(); off += ps {
+		for i := 0; i < len(page); i += 8 {
+			binary.LittleEndian.PutUint64(page[i:], off+uint64(i))
+		}
+		s.Eng.NVM.WriteRaw(m.Addr(off), page)
+	}
+	s.FS.ReconcileMapping(m)
+	return nil
+}
+
+// Workers implements harness.Workload: each thread sweeps its chunk of the
+// arrays line by line (the unit a vectorized kernel consumes).
+func (w *Workload) Workers(s *harness.System) []func(*sim.Core) {
+	cfg := w.Cfg
+	lines := cfg.ArrayBytes / 64
+	per := lines / uint64(cfg.Threads)
+	workers := make([]func(*sim.Core), cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		lo := uint64(i) * per
+		hi := lo + per
+		if i == cfg.Threads-1 {
+			hi = lines
+		}
+		workers[i] = func(c *sim.Core) {
+			src1 := make([]byte, 64)
+			src2 := make([]byte, 64)
+			dst := make([]byte, 64)
+			for l := lo; l < hi; l++ {
+				off := l * 64
+				c.Compute(cfg.ComputeCyc)
+				switch cfg.Kernel {
+				case Copy: // c = a
+					w.m.Load(c, w.a+off, src1)
+					copy(dst, src1)
+					w.store(c, w.cOff+off, dst)
+				case Scale: // b = scalar * c
+					w.m.Load(c, w.cOff+off, src1)
+					mulLine(dst, src1, w.scalar)
+					w.store(c, w.b+off, dst)
+				case Add: // c = a + b
+					w.m.Load(c, w.a+off, src1)
+					w.m.Load(c, w.b+off, src2)
+					addLine(dst, src1, src2)
+					w.store(c, w.cOff+off, dst)
+				case Triad: // a = b + scalar * c
+					w.m.Load(c, w.b+off, src1)
+					w.m.Load(c, w.cOff+off, src2)
+					mulLine(dst, src2, w.scalar)
+					addLine(dst, dst, src1)
+					w.store(c, w.a+off, dst)
+				}
+			}
+		}
+	}
+	return workers
+}
+
+// store writes one line and runs the software-redundancy hook under TxB
+// designs.
+func (w *Workload) store(c *sim.Core, off uint64, data []byte) {
+	w.m.Store(c, off, data)
+	if w.raw != nil {
+		w.raw.OnWrite(c, off, 64)
+	}
+}
+
+// mulLine computes dst = k * src elementwise over 8 uint64 lanes.
+func mulLine(dst, src []byte, k uint64) {
+	for i := 0; i < 64; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], k*binary.LittleEndian.Uint64(src[i:]))
+	}
+}
+
+// addLine computes dst = x + y elementwise over 8 uint64 lanes.
+func addLine(dst, x, y []byte) {
+	for i := 0; i < 64; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(x[i:])+binary.LittleEndian.Uint64(y[i:]))
+	}
+}

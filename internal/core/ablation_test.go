@@ -1,0 +1,358 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tvarak/internal/core"
+	"tvarak/internal/daxfs"
+	"tvarak/internal/param"
+	"tvarak/internal/sim"
+)
+
+// buildWith builds a small Tvarak system with custom features and one
+// mapped file.
+func buildWith(t *testing.T, feats param.TvarakFeatures, mut func(*param.Config)) (*sim.Engine, *daxfs.DaxMap) {
+	t.Helper()
+	cfg := param.SmallTest(param.Tvarak)
+	cfg.Tvarak.Features = feats
+	if mut != nil {
+		mut(cfg)
+	}
+	e, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := core.New(e)
+	fs, err := daxfs.New(e, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("data", 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.MMap("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+// randomWrites runs a random-write sweep (the access pattern Fig. 9 uses
+// fio rand-write for) and returns the runtime.
+func randomWrites(t *testing.T, feats param.TvarakFeatures) uint64 {
+	e, m := buildWith(t, feats, nil)
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		rng := rand.New(rand.NewSource(11))
+		buf := make([]byte, 64)
+		for i := 0; i < 6000; i++ {
+			rng.Read(buf)
+			off := uint64(rng.Intn(int(m.Size()/64))) * 64
+			m.Store(c, off, buf)
+		}
+	}})
+	return e.St.Cycles
+}
+
+// TestFig9OrderingRandomWrites asserts the cumulative-improvement ordering
+// of Fig. 9: each design element makes the random-write workload no slower,
+// and the full design beats naive by a wide margin.
+func TestFig9OrderingRandomWrites(t *testing.T) {
+	naive := randomWrites(t, param.TvarakFeatures{})
+	daxcl := randomWrites(t, param.TvarakFeatures{CacheLineChecksums: true})
+	cached := randomWrites(t, param.TvarakFeatures{CacheLineChecksums: true, RedundancyCaching: true})
+	full := randomWrites(t, param.FullTvarak())
+	t.Logf("naive=%d +daxcl=%d +cache=%d full=%d", naive, daxcl, cached, full)
+	if !(daxcl < naive) {
+		t.Errorf("DAX-CL-checksums did not improve on naive: %d vs %d", daxcl, naive)
+	}
+	if !(cached <= daxcl) {
+		t.Errorf("redundancy caching regressed: %d vs %d", cached, daxcl)
+	}
+	if !(full <= cached) {
+		t.Errorf("data diffs regressed: %d vs %d", full, cached)
+	}
+	if float64(naive) < 2*float64(full) {
+		t.Errorf("naive (%d) should be >2x full TVARAK (%d) on random writes", naive, full)
+	}
+}
+
+// TestNaiveReadsWholePagePerWriteback checks Fig. 4's defining cost: with
+// page-granular checksums, one line writeback forces reading the rest of
+// the page from NVM.
+func TestNaiveReadsWholePagePerWriteback(t *testing.T) {
+	e, m := buildWith(t, param.TvarakFeatures{}, nil)
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		m.Store(c, 0, bytes.Repeat([]byte{1}, 64))
+	}})
+	// One writeback at drain: 64 page reads (incl. old data) + page-csum
+	// read/write + parity read/write, all straight to NVM.
+	if e.St.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", e.St.Writebacks)
+	}
+	if e.St.NVM.RedReads < 64 {
+		t.Errorf("naive writeback performed %d redundancy reads, want >= 64 (whole page)", e.St.NVM.RedReads)
+	}
+}
+
+// TestExclusiveCacheModeSkipsDiffs covers §IV-G: without data diffs the
+// controller never stashes diffs and re-reads old data from NVM instead.
+func TestExclusiveCacheModeSkipsDiffs(t *testing.T) {
+	feats := param.TvarakFeatures{CacheLineChecksums: true, RedundancyCaching: true}
+	e, m := buildWith(t, feats, nil)
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		buf := bytes.Repeat([]byte{2}, 64)
+		for i := 0; i < 500; i++ {
+			m.Store(c, uint64(i)*64, buf)
+		}
+	}})
+	if e.St.DiffStashes != 0 || e.St.DiffEvictions != 0 {
+		t.Errorf("exclusive mode used diffs: stashes=%d evictions=%d", e.St.DiffStashes, e.St.DiffEvictions)
+	}
+	if e.St.NVM.RedReads < e.St.Writebacks {
+		t.Errorf("old-data reads (%d within %d red reads) fewer than writebacks (%d)",
+			e.St.NVM.RedReads, e.St.NVM.RedReads, e.St.Writebacks)
+	}
+}
+
+// TestDiffsReduceRedundancyReads compares write paths with and without
+// diffs on the same sequential workload: diffs must remove the per-
+// writeback old-data NVM read.
+func TestDiffsReduceRedundancyReads(t *testing.T) {
+	reads := func(feats param.TvarakFeatures) uint64 {
+		e, m := buildWith(t, feats, nil)
+		e.Run([]func(*sim.Core){func(c *sim.Core) {
+			buf := bytes.Repeat([]byte{3}, 64)
+			for off := uint64(0); off < m.Size(); off += 64 {
+				m.Store(c, off, buf)
+			}
+		}})
+		return e.St.NVM.RedReads
+	}
+	with := reads(param.FullTvarak())
+	without := reads(param.TvarakFeatures{CacheLineChecksums: true, RedundancyCaching: true})
+	if with >= without {
+		t.Errorf("diffs did not reduce redundancy reads: %d (with) vs %d (without)", with, without)
+	}
+}
+
+// TestControllerSharingInvalidations: consecutive data lines map to
+// different LLC banks but share one checksum line, so bank controllers
+// must exchange it via invalidations (the MESI sharing of §III-E).
+func TestControllerSharingInvalidations(t *testing.T) {
+	e, m := buildWith(t, param.FullTvarak(), nil)
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		buf := bytes.Repeat([]byte{4}, 64)
+		// 16 consecutive lines share one DAX-CL-checksum line but live in
+		// 4 different banks (SmallTest has 4 banks); force writebacks by
+		// writing far more than the hierarchy holds.
+		for i := 0; i < 30000; i++ {
+			m.Store(c, uint64(i*64)%m.Size(), buf)
+		}
+	}})
+	if e.St.RedInvalidations == 0 {
+		t.Error("no on-controller cache invalidations despite cross-bank checksum-line sharing")
+	}
+}
+
+// TestRecoveryInPageGranularMode injects a lost write under the naive
+// page-checksum controller and expects whole-page reconstruction.
+func TestRecoveryInPageGranularMode(t *testing.T) {
+	e, m := buildWith(t, param.TvarakFeatures{}, nil)
+	want := bytes.Repeat([]byte{0x9c}, 64)
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		m.Store(c, 64*5, bytes.Repeat([]byte{1}, 64))
+	}})
+	e.DropCaches()
+	e.NVM.InjectLostWrite(e.Geo.LineAddr(m.Addr(64 * 5)))
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		m.Store(c, 64*5, want)
+	}})
+	e.DropCaches()
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		got := make([]byte, 64)
+		m.Load(c, 64*5, got)
+		if !bytes.Equal(got, want) {
+			t.Error("page-granular recovery returned wrong data")
+		}
+	}})
+	if e.St.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", e.St.Recoveries)
+	}
+}
+
+// TestManyInjectedFaultsAllRecovered is the adversarial sweep: inject lost
+// writes on many random lines, then read everything back and require exact
+// content plus one recovery per lost line.
+func TestManyInjectedFaultsAllRecovered(t *testing.T) {
+	e, m := buildWith(t, param.FullTvarak(), nil)
+	rng := rand.New(rand.NewSource(17))
+	const lines = 2048
+	content := make(map[uint64][]byte, lines)
+
+	// Phase 1: baseline content, fully drained.
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		for i := 0; i < lines; i++ {
+			off := uint64(i) * 64
+			buf := make([]byte, 64)
+			rng.Read(buf)
+			content[off] = buf
+			m.Store(c, off, buf)
+		}
+	}})
+	e.DropCaches()
+
+	// Phase 2: rewrite a subset, arming lost-write bugs on some of them.
+	// Cross-DIMM parity (like any RAID-5 geometry) recovers at most one
+	// lost line per parity group, so injected faults are kept in distinct
+	// groups — the same single-fault model the paper assumes.
+	lost := 0
+	usedGroup := map[uint64]bool{}
+	e2 := rng.Perm(lines)[:256]
+	for _, i := range e2 {
+		off := uint64(i) * 64
+		addr := e.Geo.LineAddr(m.Addr(off))
+		group := e.Geo.ParityLineAddr(addr)
+		if rng.Intn(2) == 0 && !usedGroup[group] {
+			usedGroup[group] = true
+			e.NVM.InjectLostWrite(addr)
+			lost++
+		}
+	}
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		for _, i := range e2 {
+			off := uint64(i) * 64
+			buf := make([]byte, 64)
+			rng.Read(buf)
+			content[off] = buf
+			m.Store(c, off, buf)
+		}
+	}})
+	if e.NVM.PendingBugs() != 0 {
+		t.Fatalf("%d injected bugs never fired", e.NVM.PendingBugs())
+	}
+	e.DropCaches()
+
+	// Phase 3: read every line back; all content must be exact.
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		got := make([]byte, 64)
+		for i := 0; i < lines; i++ {
+			off := uint64(i) * 64
+			m.Load(c, off, got)
+			if !bytes.Equal(got, content[off]) {
+				t.Fatalf("line %d corrupted after recovery", i)
+			}
+		}
+	}})
+	if int(e.St.Recoveries) != lost {
+		t.Errorf("recoveries = %d, want %d (one per lost write)", e.St.Recoveries, lost)
+	}
+}
+
+// TestWaySweepMonotonicity: growing the redundancy partition must not
+// increase redundancy NVM traffic (Fig. 10(a) mechanics).
+func TestWaySweepMonotonicity(t *testing.T) {
+	traffic := func(ways int) uint64 {
+		e, m := buildWith(t, param.FullTvarak(), func(cfg *param.Config) {
+			cfg.Tvarak.RedundancyWays = ways
+		})
+		e.Run([]func(*sim.Core){func(c *sim.Core) {
+			rng := rand.New(rand.NewSource(5))
+			buf := make([]byte, 64)
+			for i := 0; i < 5000; i++ {
+				rng.Read(buf)
+				m.Store(c, uint64(rng.Intn(int(m.Size()/64)))*64, buf)
+			}
+		}})
+		return e.St.NVM.Redundancy()
+	}
+	prev := traffic(1)
+	for _, ways := range []int{2, 4, 8} {
+		cur := traffic(ways)
+		if cur > prev+prev/20 { // allow 5% noise from set-conflict shifts
+			t.Errorf("%d ways: redundancy traffic %d above %d at fewer ways", ways, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestDeterministicUnderFullDesign guards the phase scheduler + controller
+// against nondeterminism with all features on.
+func TestDeterministicUnderFullDesign(t *testing.T) {
+	run := func() string {
+		e, m := buildWith(t, param.FullTvarak(), nil)
+		workers := make([]func(*sim.Core), 3)
+		for w := 0; w < 3; w++ {
+			w := w
+			workers[w] = func(c *sim.Core) {
+				rng := rand.New(rand.NewSource(int64(w + 1)))
+				buf := make([]byte, 64)
+				for i := 0; i < 2000; i++ {
+					off := uint64(rng.Intn(int(m.Size()/64))) * 64
+					if rng.Intn(2) == 0 {
+						rng.Read(buf)
+						m.Store(c, off, buf)
+					} else {
+						m.Load(c, off, buf)
+					}
+				}
+			}
+		}
+		e.Run(workers)
+		return fmt.Sprintf("%d/%d/%d/%d", e.St.Cycles, e.St.NVM.Total(), e.St.DiffStashes, e.St.RedInvalidations)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %s vs %s", a, b)
+	}
+}
+
+// TestControllerInvariantsAfterStress validates the controller's cache
+// inclusivity and holder bookkeeping after a multi-core stress run.
+func TestControllerInvariantsAfterStress(t *testing.T) {
+	cfg := param.SmallTest(param.Tvarak)
+	e, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := core.New(e)
+	fs, err := daxfs.New(e, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Create("data", 2<<20)
+	m, _ := fs.MMap("data")
+	workers := make([]func(*sim.Core), 4)
+	for w := range workers {
+		w := w
+		workers[w] = func(c *sim.Core) {
+			rng := rand.New(rand.NewSource(int64(w + 31)))
+			buf := make([]byte, 64)
+			for i := 0; i < 4000; i++ {
+				off := uint64(rng.Intn(int(m.Size()/64))) * 64
+				if rng.Intn(2) == 0 {
+					rng.Read(buf)
+					m.Store(c, off, buf)
+				} else {
+					m.Load(c, off, buf)
+				}
+				if i == 2000 && w == 0 {
+					if err := ctrl.CheckInvariants(); err != nil {
+						t.Error(err)
+					}
+					if err := e.CheckInvariants(); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}
+	}
+	e.Run(workers)
+	if err := ctrl.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package daxfs_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tvarak/internal/daxfs"
+	"tvarak/internal/param"
+	"tvarak/internal/sim"
+)
+
+func TestRecoverDIMMRestoresEverything(t *testing.T) {
+	e, fs := fsFixture(t, param.Baseline)
+	f, err := fs.Create("survivor", 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, int(f.Size()))
+	rand.New(rand.NewSource(5)).Read(data)
+	if err := fs.WriteAt(f, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy every page of DIMM 2 (data and parity pages alike).
+	geo := fs.Geometry()
+	junk := bytes.Repeat([]byte{0xDE}, geo.PageSize)
+	for s := uint64(0); s < geo.Stripes(); s++ {
+		e.NVM.WriteRaw(geo.PageBase(s*uint64(geo.DIMMs)+2), junk)
+	}
+	if bad := fs.Scrub(); len(bad) == 0 {
+		t.Fatal("scrub missed a destroyed DIMM")
+	}
+	if err := fs.RecoverDIMM(2); err != nil {
+		t.Fatal(err)
+	}
+	if bad := fs.Scrub(); len(bad) != 0 {
+		t.Fatalf("scrub after DIMM recovery still reports %d bad pages", len(bad))
+	}
+	got := make([]byte, len(data))
+	if err := fs.ReadAt(f, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("file content wrong after DIMM recovery")
+	}
+}
+
+func TestRecoverDIMMRejectsBadIndex(t *testing.T) {
+	_, fs := fsFixture(t, param.Baseline)
+	if err := fs.RecoverDIMM(99); err == nil {
+		t.Error("bogus DIMM index accepted")
+	}
+}
+
+func TestScrubberVerifiesAndRepairs(t *testing.T) {
+	e, fs := fsFixture(t, param.Baseline)
+	f, _ := fs.Create("cold", 64<<10)
+	fs.WriteAt(f, 0, bytes.Repeat([]byte{3}, 32<<10))
+	// Corrupt one page behind the fs's back.
+	e.NVM.WriteRaw(fs.Geometry().DataIndexAddr(f.StartDI+2, 0), []byte{0xAA, 0xBB})
+	sc := daxfs.NewScrubber(fs)
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		sc.Pass(c)
+	}})
+	if sc.PagesVerified == 0 {
+		t.Fatal("scrubber verified nothing")
+	}
+	if sc.CorruptionsFound != 1 {
+		t.Errorf("scrubber found %d corruptions, want 1", sc.CorruptionsFound)
+	}
+	if bad := fs.Scrub(); len(bad) != 0 {
+		t.Errorf("corruption not repaired: %v", bad)
+	}
+	// Scrubbing consumes simulated time and bandwidth (it is not free).
+	if e.St.Cycles == 0 || e.St.NVM.DataReads == 0 {
+		t.Error("scrub pass cost nothing")
+	}
+}
+
+func TestScrubberWorkerStops(t *testing.T) {
+	e, fs := fsFixture(t, param.Baseline)
+	f, _ := fs.Create("w", 32<<10)
+	fs.WriteAt(f, 0, bytes.Repeat([]byte{1}, 4096))
+	sc := daxfs.NewScrubber(fs)
+	sc.PassGapCyc = 50000
+	stop := false
+	e.Run([]func(*sim.Core){
+		func(c *sim.Core) {
+			// Step in phase-sized chunks so the scrubber interleaves.
+			for i := 0; i < 30; i++ {
+				c.Compute(10000)
+			}
+			stop = true
+		},
+		sc.Worker(&stop),
+	})
+	if sc.Passes == 0 {
+		t.Error("worker never completed a pass")
+	}
+}

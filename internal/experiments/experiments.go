@@ -1,0 +1,373 @@
+// Package experiments is the registry that maps every table and figure of
+// the paper's evaluation to a runnable experiment over the harness and the
+// seven applications (see DESIGN.md §3 for the index).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tvarak/internal/apps/fio"
+	"tvarak/internal/apps/kvtrees"
+	"tvarak/internal/apps/nstore"
+	"tvarak/internal/apps/redispm"
+	"tvarak/internal/apps/stream"
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+)
+
+// Options tune how experiments run.
+type Options struct {
+	// FullScale uses the paper's Table III machine (24 MB LLC) instead of
+	// the 1/16-scale reproduction machine. Workload footprints do not
+	// change, so full-scale runs are meaningful mainly for sizing studies.
+	FullScale bool
+	// Scale multiplies measured operation counts (1.0 = default).
+	Scale float64
+	// Designs restricts which designs run (nil = all four).
+	Designs []param.Design
+}
+
+func (o Options) designs() []param.Design {
+	if len(o.Designs) > 0 {
+		return o.Designs
+	}
+	return param.Designs()
+}
+
+func (o Options) config(d param.Design) *param.Config {
+	if o.FullScale {
+		return param.Default(d)
+	}
+	return param.ReproScale(d)
+}
+
+func (o Options) scale(n int) int {
+	if o.Scale <= 0 {
+		return n
+	}
+	if s := int(float64(n) * o.Scale); s > 0 {
+		return s
+	}
+	return 1
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Paper string // which figure/table it reproduces
+	Run   func(o Options) (*harness.Table, error)
+}
+
+// Experiments returns the full registry, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "fig8-redis", Paper: "Fig. 8(a)-(d): Redis set-only and get-only", Run: runFig8Redis},
+		{ID: "fig8-kv", Paper: "Fig. 8(e)-(h): C-Tree/B-Tree/RB-Tree insert-only and balanced", Run: runFig8KV},
+		{ID: "fig8-nstore", Paper: "Fig. 8(i)-(l): N-Store YCSB read-heavy/balanced/update-heavy", Run: runFig8NStore},
+		{ID: "fig8-fio", Paper: "Fig. 8(m)-(p): fio seq/rand reads and writes", Run: runFig8Fio},
+		{ID: "fig8-stream", Paper: "Fig. 8(q)-(t): stream copy/scale/add/triad", Run: runFig8Stream},
+		{ID: "fig9", Paper: "Fig. 9: impact of TVARAK's design choices", Run: runFig9},
+		{ID: "fig10a", Paper: "Fig. 10(a): sensitivity to redundancy-caching LLC ways", Run: runFig10a},
+		{ID: "fig10b", Paper: "Fig. 10(b): sensitivity to data-diff LLC ways", Run: runFig10b},
+		{ID: "sec4g", Paper: "§IV-G: exclusive caches (TVARAK without LLC data diffs)", Run: runSec4G},
+		{ID: "sec4h-dimms", Paper: "§IV-H: 4 vs 8 NVM DIMMs", Run: runSec4HDimms},
+		{ID: "sec4h-tech", Paper: "§IV-H: Optane-like vs battery-backed-DRAM NVM", Run: runSec4HTech},
+		{ID: "ext-vilamb", Paper: "extension: Table I's Vilamb row (asynchronous epochs) vs the paper's designs", Run: runExtVilamb},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// runSet executes a set of workloads across designs into one table.
+func runSet(o Options, title string, mk []func() harness.Workload) (*harness.Table, error) {
+	t := &harness.Table{Title: title}
+	for _, m := range mk {
+		for _, d := range o.designs() {
+			r, err := harness.Run(o.config(d), m())
+			if err != nil {
+				return nil, err
+			}
+			t.Add(r)
+		}
+	}
+	return t, nil
+}
+
+func runFig8Redis(o Options) (*harness.Table, error) {
+	mk := []func() harness.Workload{}
+	for _, setOnly := range []bool{true, false} {
+		setOnly := setOnly
+		mk = append(mk, func() harness.Workload {
+			cfg := redispm.Default(setOnly)
+			cfg.Ops = o.scale(cfg.Ops)
+			return redispm.New(cfg)
+		})
+	}
+	return runSet(o, "Fig. 8(a)-(d) Redis", mk)
+}
+
+func runFig8KV(o Options) (*harness.Table, error) {
+	mk := []func() harness.Workload{}
+	for _, st := range kvtrees.Structures() {
+		for _, mix := range []kvtrees.Mix{kvtrees.InsertOnly, kvtrees.Balanced} {
+			st, mix := st, mix
+			mk = append(mk, func() harness.Workload {
+				cfg := kvtrees.Default(st, mix)
+				cfg.Ops = o.scale(cfg.Ops)
+				return kvtrees.New(cfg)
+			})
+		}
+	}
+	return runSet(o, "Fig. 8(e)-(h) key-value structures", mk)
+}
+
+func runFig8NStore(o Options) (*harness.Table, error) {
+	mk := []func() harness.Workload{}
+	for _, mix := range nstore.Mixes() {
+		mix := mix
+		mk = append(mk, func() harness.Workload {
+			cfg := nstore.Default(mix)
+			cfg.Txns = o.scale(cfg.Txns)
+			return nstore.New(cfg)
+		})
+	}
+	return runSet(o, "Fig. 8(i)-(l) N-Store", mk)
+}
+
+func runFig8Fio(o Options) (*harness.Table, error) {
+	mk := []func() harness.Workload{}
+	for _, pat := range []fio.Pattern{fio.Seq, fio.Rand} {
+		for _, wr := range []bool{false, true} {
+			pat, wr := pat, wr
+			mk = append(mk, func() harness.Workload {
+				cfg := fio.Default(pat, wr)
+				cfg.AccessBytes = uint64(o.scale(int(cfg.AccessBytes)))
+				return fio.New(cfg)
+			})
+		}
+	}
+	return runSet(o, "Fig. 8(m)-(p) fio", mk)
+}
+
+func runFig8Stream(o Options) (*harness.Table, error) {
+	mk := []func() harness.Workload{}
+	for _, k := range stream.Kernels() {
+		k := k
+		mk = append(mk, func() harness.Workload {
+			cfg := stream.Default(k)
+			cfg.ArrayBytes = uint64(o.scale(int(cfg.ArrayBytes))) &^ 4095
+			return stream.New(cfg)
+		})
+	}
+	return runSet(o, "Fig. 8(q)-(t) stream", mk)
+}
+
+// fig9Workloads is the paper's ablation set: one workload per application.
+func fig9Workloads(o Options) []func() harness.Workload {
+	return []func() harness.Workload{
+		func() harness.Workload {
+			cfg := redispm.Default(true)
+			cfg.Ops = o.scale(cfg.Ops)
+			return redispm.New(cfg)
+		},
+		func() harness.Workload {
+			cfg := kvtrees.Default(kvtrees.CTree, kvtrees.InsertOnly)
+			cfg.Ops = o.scale(cfg.Ops)
+			return kvtrees.New(cfg)
+		},
+		func() harness.Workload {
+			cfg := nstore.Default(nstore.BalancedMix)
+			cfg.Txns = o.scale(cfg.Txns)
+			return nstore.New(cfg)
+		},
+		func() harness.Workload {
+			cfg := fio.Default(fio.Rand, true)
+			cfg.AccessBytes = uint64(o.scale(int(cfg.AccessBytes)))
+			return fio.New(cfg)
+		},
+		func() harness.Workload {
+			cfg := stream.Default(stream.Triad)
+			cfg.ArrayBytes = uint64(o.scale(int(cfg.ArrayBytes))) &^ 4095
+			return stream.New(cfg)
+		},
+	}
+}
+
+// fig9Points are the cumulative design points of Fig. 9.
+var fig9Points = []struct {
+	Name  string
+	Feats param.TvarakFeatures
+}{
+	{"naive", param.TvarakFeatures{}},
+	{"+dax-cl-csums", param.TvarakFeatures{CacheLineChecksums: true}},
+	{"+red-caching", param.TvarakFeatures{CacheLineChecksums: true, RedundancyCaching: true}},
+	{"+data-diffs(tvarak)", param.FullTvarak()},
+}
+
+func runFig9(o Options) (*harness.Table, error) {
+	t := &harness.Table{Title: "Fig. 9 design-choice ablation (vs Baseline)"}
+	for _, mk := range fig9Workloads(o) {
+		// Baseline reference.
+		r, err := harness.Run(o.config(param.Baseline), mk())
+		if err != nil {
+			return nil, err
+		}
+		t.Add(r)
+		for _, pt := range fig9Points {
+			cfg := o.config(param.Tvarak)
+			cfg.Tvarak.Features = pt.Feats
+			r, err := harness.Run(cfg, mk())
+			if err != nil {
+				return nil, err
+			}
+			r.Variant = pt.Name
+			t.Add(r)
+		}
+	}
+	return t, nil
+}
+
+func runFig10a(o Options) (*harness.Table, error) {
+	return runWaySweep(o, "Fig. 10(a) redundancy-caching way sensitivity", func(cfg *param.Config, ways int) {
+		cfg.Tvarak.RedundancyWays = ways
+	})
+}
+
+func runFig10b(o Options) (*harness.Table, error) {
+	return runWaySweep(o, "Fig. 10(b) data-diff way sensitivity", func(cfg *param.Config, ways int) {
+		cfg.Tvarak.DiffWays = ways
+	})
+}
+
+func runWaySweep(o Options, title string, set func(*param.Config, int)) (*harness.Table, error) {
+	t := &harness.Table{Title: title}
+	for _, mk := range fig9Workloads(o) {
+		r, err := harness.Run(o.config(param.Baseline), mk())
+		if err != nil {
+			return nil, err
+		}
+		t.Add(r)
+		for _, ways := range []int{1, 2, 4, 6, 8} {
+			cfg := o.config(param.Tvarak)
+			set(cfg, ways)
+			r, err := harness.Run(cfg, mk())
+			if err != nil {
+				return nil, err
+			}
+			r.Variant = fmt.Sprintf("%d-way", ways)
+			t.Add(r)
+		}
+	}
+	return t, nil
+}
+
+func runSec4G(o Options) (*harness.Table, error) {
+	t := &harness.Table{Title: "§IV-G exclusive-cache TVARAK (no LLC data diffs)"}
+	for _, mk := range fig9Workloads(o) {
+		r, err := harness.Run(o.config(param.Baseline), mk())
+		if err != nil {
+			return nil, err
+		}
+		t.Add(r)
+		for _, pt := range []struct {
+			name  string
+			feats param.TvarakFeatures
+		}{
+			{"inclusive(full)", param.FullTvarak()},
+			{"exclusive(no-diffs)", param.TvarakFeatures{CacheLineChecksums: true, RedundancyCaching: true}},
+		} {
+			cfg := o.config(param.Tvarak)
+			cfg.Tvarak.Features = pt.feats
+			r, err := harness.Run(cfg, mk())
+			if err != nil {
+				return nil, err
+			}
+			r.Variant = pt.name
+			t.Add(r)
+		}
+	}
+	return t, nil
+}
+
+// runExtVilamb compares the Vilamb extension against the paper's four
+// designs on the transactional workloads it applies to (Table I's
+// "configurable" overhead row).
+func runExtVilamb(o Options) (*harness.Table, error) {
+	t := &harness.Table{Title: "extension: Vilamb (asynchronous epochs) vs evaluated designs"}
+	mks := []func() harness.Workload{
+		func() harness.Workload {
+			cfg := redispm.Default(true)
+			cfg.Ops = o.scale(cfg.Ops)
+			return redispm.New(cfg)
+		},
+		func() harness.Workload {
+			cfg := kvtrees.Default(kvtrees.CTree, kvtrees.InsertOnly)
+			cfg.Ops = o.scale(cfg.Ops)
+			return kvtrees.New(cfg)
+		},
+	}
+	designs := append(o.designs(), param.Vilamb)
+	for _, mk := range mks {
+		for _, d := range designs {
+			r, err := harness.Run(o.config(d), mk())
+			if err != nil {
+				return nil, err
+			}
+			t.Add(r)
+		}
+	}
+	return t, nil
+}
+
+func runSec4HDimms(o Options) (*harness.Table, error) {
+	t := &harness.Table{Title: "§IV-H NVM DIMM count (stream triad)"}
+	for _, dimms := range []int{4, 8} {
+		for _, d := range o.designs() {
+			cfg := o.config(d)
+			cfg.NVM = param.OptaneLike(dimms).Mem
+			scfg := stream.Default(stream.Triad)
+			scfg.ArrayBytes = uint64(o.scale(int(scfg.ArrayBytes))) &^ 4095
+			r, err := harness.Run(cfg, stream.New(scfg))
+			if err != nil {
+				return nil, err
+			}
+			r.Variant = fmt.Sprintf("%d-DIMMs", dimms)
+			r.Workload = fmt.Sprintf("%s/%ddimm", r.Workload, dimms)
+			t.Add(r)
+		}
+	}
+	return t, nil
+}
+
+func runSec4HTech(o Options) (*harness.Table, error) {
+	t := &harness.Table{Title: "§IV-H NVM technology (stream triad)"}
+	for _, tech := range []param.NVMTech{param.OptaneLike(4), param.BatteryBackedDRAM(4)} {
+		for _, d := range o.designs() {
+			cfg := o.config(d)
+			cfg.NVM = tech.Mem
+			scfg := stream.Default(stream.Triad)
+			scfg.ArrayBytes = uint64(o.scale(int(scfg.ArrayBytes))) &^ 4095
+			r, err := harness.Run(cfg, stream.New(scfg))
+			if err != nil {
+				return nil, err
+			}
+			r.Variant = tech.Name
+			r.Workload = fmt.Sprintf("%s/%s", r.Workload, tech.Name)
+			t.Add(r)
+		}
+	}
+	return t, nil
+}

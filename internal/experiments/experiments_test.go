@@ -1,0 +1,114 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"tvarak/internal/experiments"
+	"tvarak/internal/param"
+)
+
+func TestRegistryCoversEveryFigure(t *testing.T) {
+	want := []string{
+		"fig8-redis", "fig8-kv", "fig8-nstore", "fig8-fio", "fig8-stream",
+		"fig9", "fig10a", "fig10b", "sec4g", "sec4h-dimms", "sec4h-tech",
+		"ext-vilamb",
+	}
+	got := experiments.Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("experiment %d = %q, want %q", i, got[i].ID, id)
+		}
+		if got[i].Paper == "" || got[i].Run == nil {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := experiments.Lookup("fig9")
+	if err != nil || e.ID != "fig9" {
+		t.Errorf("Lookup(fig9) = %v, %v", e.ID, err)
+	}
+	if _, err := experiments.Lookup("fig99"); err == nil {
+		t.Error("Lookup of unknown id succeeded")
+	}
+}
+
+func TestStreamExperimentSmoke(t *testing.T) {
+	// Run the cheapest real experiment end to end at a tiny scale and
+	// check table shape: 4 kernels x 4 designs = 16 rows, baselines at 0%.
+	e, err := experiments.Lookup("fig8-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(experiments.Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Results) != 16 {
+		t.Fatalf("fig8-stream rows = %d, want 16", len(tab.Results))
+	}
+	for _, r := range tab.Results {
+		if r.Stats.Cycles == 0 {
+			t.Errorf("%s/%s: zero runtime", r.Workload, r.Label())
+		}
+		if r.Design == param.Baseline && tab.Overhead(r) != 0 {
+			t.Errorf("%s baseline overhead nonzero", r.Workload)
+		}
+		if r.Design != param.Baseline && tab.Overhead(r) <= 0 {
+			t.Errorf("%s/%s: overhead %.3f not positive", r.Workload, r.Label(), tab.Overhead(r))
+		}
+	}
+}
+
+func TestSec4HTechSmoke(t *testing.T) {
+	e, err := experiments.Lookup("sec4h-tech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Run(experiments.Options{
+		Scale:   0.05,
+		Designs: []param.Design{param.Baseline, param.Tvarak},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Results) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 techs x 2 designs)", len(tab.Results))
+	}
+	// Battery-backed DRAM must be faster than Optane-like NVM for the
+	// same design and workload.
+	var optane, dram uint64
+	for _, r := range tab.Results {
+		if r.Design != param.Baseline {
+			continue
+		}
+		if r.Variant == "optane-like" {
+			optane = r.Stats.Cycles
+		} else {
+			dram = r.Stats.Cycles
+		}
+	}
+	if dram == 0 || optane == 0 || dram >= optane {
+		t.Errorf("battery-backed DRAM baseline (%d) not faster than Optane-like (%d)", dram, optane)
+	}
+}
+
+func TestDesignsFilterRespected(t *testing.T) {
+	e, _ := experiments.Lookup("fig8-stream")
+	tab, err := e.Run(experiments.Options{
+		Scale:   0.05,
+		Designs: []param.Design{param.Baseline},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Results {
+		if r.Design != param.Baseline {
+			t.Errorf("filtered run produced design %v", r.Design)
+		}
+	}
+}

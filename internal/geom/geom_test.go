@@ -1,0 +1,183 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mk(t *testing.T, dimms int) Geometry {
+	t.Helper()
+	g, err := New(64, 4096, 1<<20, dimms*4<<20, dimms)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(64, 4096, 1<<20, 16<<20, 1); err == nil {
+		t.Error("want error for 1 DIMM (no cross-DIMM parity possible)")
+	}
+	if _, err := New(64, 4000, 1<<20, 16<<20, 4); err == nil {
+		t.Error("want error for page size not a multiple of line size")
+	}
+	if _, err := New(64, 4096, 1<<20, 16<<20+4096, 4); err == nil {
+		t.Error("want error for non-stripe-aligned NVM capacity")
+	}
+	if _, err := New(64, 4096, 1<<20+1, 16<<20, 4); err == nil {
+		t.Error("want error for unaligned DRAM capacity")
+	}
+}
+
+func TestBasicLayout(t *testing.T) {
+	g := mk(t, 4)
+	if g.NVMBase() != 1<<20 {
+		t.Errorf("NVMBase = %#x, want %#x", g.NVMBase(), 1<<20)
+	}
+	if got := g.TotalPages(); got != 4096 {
+		t.Errorf("TotalPages = %d, want 4096", got)
+	}
+	if got := g.Stripes(); got != 1024 {
+		t.Errorf("Stripes = %d, want 1024", got)
+	}
+	if got := g.DataPages(); got != 3072 {
+		t.Errorf("DataPages = %d, want 3072", got)
+	}
+	if g.IsNVM(g.NVMBase() - 1) {
+		t.Error("DRAM address classified as NVM")
+	}
+	if !g.IsNVM(g.NVMBase()) || g.IsNVM(g.NVMEnd()) {
+		t.Error("NVM range boundaries wrong")
+	}
+}
+
+func TestParityRotation(t *testing.T) {
+	g := mk(t, 4)
+	// Stripe s has parity at in-stripe slot s mod D.
+	for s := uint64(0); s < 8; s++ {
+		pp := g.ParityPage(s)
+		if !g.IsParityPage(pp) {
+			t.Errorf("stripe %d: ParityPage %d not flagged as parity", s, pp)
+		}
+		if got := pp % 4; got != s%4 {
+			t.Errorf("stripe %d: parity slot %d, want %d (rotating)", s, got, s%4)
+		}
+		n := 0
+		for k := uint64(0); k < 4; k++ {
+			if g.IsParityPage(s*4 + k) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("stripe %d has %d parity pages, want 1", s, n)
+		}
+	}
+}
+
+func TestDataIndexRoundTrip(t *testing.T) {
+	for _, dimms := range []int{2, 3, 4, 8} {
+		g := mk(t, dimms)
+		f := func(di uint64) bool {
+			di %= g.DataPages()
+			p := g.PageOfDataIndex(di)
+			return !g.IsParityPage(p) && g.DataIndexOf(p) == di
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("DIMMs=%d: %v", dimms, err)
+		}
+	}
+}
+
+func TestDataIndexIsContiguousAndComplete(t *testing.T) {
+	g := mk(t, 4)
+	// Every data index maps to a distinct page and indices are dense.
+	seen := make(map[uint64]bool)
+	for di := uint64(0); di < g.DataPages(); di++ {
+		p := g.PageOfDataIndex(di)
+		if seen[p] {
+			t.Fatalf("data index %d reuses page %d", di, p)
+		}
+		seen[p] = true
+	}
+	// Every non-parity page is covered.
+	for p := uint64(0); p < g.TotalPages(); p++ {
+		if g.IsParityPage(p) != !seen[p] {
+			t.Fatalf("page %d: parity=%v covered=%v", p, g.IsParityPage(p), seen[p])
+		}
+	}
+}
+
+func TestDataIndexOfPanicsOnParityPage(t *testing.T) {
+	g := mk(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("DataIndexOf(parity page) did not panic")
+		}
+	}()
+	g.DataIndexOf(g.ParityPage(0))
+}
+
+func TestParityLineAddr(t *testing.T) {
+	g := mk(t, 4)
+	f := func(di, off uint64) bool {
+		di %= g.DataPages()
+		off = (off % uint64(g.PageSize)) &^ 63
+		addr := g.DataIndexAddr(di, 0) + off
+		pa := g.ParityLineAddr(addr)
+		// Parity line lives on a parity page of the same stripe, at the
+		// same page offset.
+		pp := g.PageOf(pa)
+		return g.IsParityPage(pp) &&
+			g.StripeOf(pp) == g.StripeOf(g.PageOf(addr)) &&
+			(pa-g.PageBase(pp)) == off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSiblingLineAddrs(t *testing.T) {
+	for _, dimms := range []int{2, 3, 4, 8} {
+		g := mk(t, dimms)
+		addr := g.DataIndexAddr(5%g.DataPages(), 128)
+		addr = g.LineAddr(addr)
+		sibs := g.SiblingLineAddrs(addr)
+		if len(sibs) != dimms-2 {
+			t.Errorf("DIMMs=%d: %d siblings, want %d", dimms, len(sibs), dimms-2)
+		}
+		for _, s := range sibs {
+			if s == addr {
+				t.Error("sibling list contains the line itself")
+			}
+			if g.IsParityPage(g.PageOf(s)) {
+				t.Error("sibling on a parity page")
+			}
+			if g.StripeOf(g.PageOf(s)) != g.StripeOf(g.PageOf(addr)) {
+				t.Error("sibling outside the stripe")
+			}
+		}
+	}
+}
+
+func TestDataIndexAddrCrossesPages(t *testing.T) {
+	g := mk(t, 4)
+	// Offsets beyond one page land on the next data page, skipping parity.
+	a0 := g.DataIndexAddr(0, 0)
+	a1 := g.DataIndexAddr(0, uint64(g.PageSize))
+	if g.PageOf(a1) != g.PageOfDataIndex(1) {
+		t.Errorf("offset pageSize maps to page %d, want data page 1 (%d)", g.PageOf(a1), g.PageOfDataIndex(1))
+	}
+	if g.PageOf(a0) != g.PageOfDataIndex(0) {
+		t.Errorf("offset 0 maps to wrong page")
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	g := mk(t, 4)
+	if g.LineAddr(127) != 64 {
+		t.Errorf("LineAddr(127) = %d, want 64", g.LineAddr(127))
+	}
+	if g.LinesPerPage() != 64 {
+		t.Errorf("LinesPerPage = %d, want 64", g.LinesPerPage())
+	}
+}

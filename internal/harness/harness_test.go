@@ -1,0 +1,214 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+	"tvarak/internal/stats"
+)
+
+// toyWorkload is a minimal harness.Workload for harness-mechanics tests.
+type toyWorkload struct {
+	name   string
+	stores int
+	addr   uint64
+}
+
+func (w *toyWorkload) Name() string { return w.name }
+
+func (w *toyWorkload) Setup(s *harness.System) error {
+	m, err := s.NewMapping(w.name, 1<<20)
+	if err != nil {
+		return err
+	}
+	w.addr = m.Addr(0)
+	return nil
+}
+
+func (w *toyWorkload) Workers(s *harness.System) []func(*sim.Core) {
+	return []func(*sim.Core){func(c *sim.Core) {
+		var b [8]byte
+		for i := 0; i < w.stores; i++ {
+			c.Store(w.addr+uint64(i*64)%(1<<19), b[:])
+		}
+	}}
+}
+
+func TestNewSystemWiresControllerOnlyForTvarak(t *testing.T) {
+	for _, d := range param.Designs() {
+		s, err := harness.NewSystem(param.SmallTest(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (s.Ctrl != nil) != (d == param.Tvarak) {
+			t.Errorf("%v: controller presence = %v", d, s.Ctrl != nil)
+		}
+		if s.FS == nil || s.Eng == nil {
+			t.Errorf("%v: incomplete system", d)
+		}
+	}
+}
+
+func TestRunResetsBetweenSetupAndMeasurement(t *testing.T) {
+	w := &toyWorkload{name: "toy", stores: 100}
+	r, err := harness.Run(param.SmallTest(param.Baseline), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured stats cover only the workers: 100 stores ≈ 100 L1 accesses,
+	// not the setup traffic.
+	if r.Stats.Cache[stats.L1].Total() != 100 {
+		t.Errorf("measured L1 accesses = %d, want 100 (setup leaked into measurement?)",
+			r.Stats.Cache[stats.L1].Total())
+	}
+}
+
+func TestTableOverheadMath(t *testing.T) {
+	tab := &harness.Table{}
+	base := &harness.Result{Workload: "w", Design: param.Baseline}
+	base.Stats.Cycles = 1000
+	base.Stats.EnergyPJ = 500
+	tv := &harness.Result{Workload: "w", Design: param.Tvarak}
+	tv.Stats.Cycles = 1030
+	tv.Stats.EnergyPJ = 600
+	tab.Add(base)
+	tab.Add(tv)
+	if got := tab.Overhead(tv); got < 0.0299 || got > 0.0301 {
+		t.Errorf("Overhead = %v, want 0.03", got)
+	}
+	if got := tab.EnergyOverhead(tv); got < 0.199 || got > 0.201 {
+		t.Errorf("EnergyOverhead = %v, want 0.2", got)
+	}
+	if tab.Overhead(base) != 0 {
+		t.Error("baseline overhead should be 0")
+	}
+	// No baseline → overhead 0, not NaN/panic.
+	orphan := &harness.Result{Workload: "other", Design: param.Tvarak}
+	tab.Add(orphan)
+	if tab.Overhead(orphan) != 0 {
+		t.Error("missing baseline should yield 0 overhead")
+	}
+}
+
+func TestTableStringAndFind(t *testing.T) {
+	tab := &harness.Table{Title: "demo"}
+	r := &harness.Result{Workload: "w", Design: param.Tvarak, Variant: "2-way"}
+	r.Stats.Cycles = 42
+	tab.Add(r)
+	out := tab.String()
+	for _, want := range []string{"demo", "Tvarak[2-way]", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.Find("w", param.Tvarak) != r {
+		t.Error("Find failed")
+	}
+	if tab.Find("w", param.Baseline) != nil {
+		t.Error("Find invented a result")
+	}
+}
+
+func TestResultLabel(t *testing.T) {
+	r := &harness.Result{Design: param.TxBPageCsums}
+	if r.Label() != "TxB-Page-Csums" {
+		t.Errorf("Label = %q", r.Label())
+	}
+	r.Variant = "8-way"
+	if r.Label() != "TxB-Page-Csums[8-way]" {
+		t.Errorf("Label = %q", r.Label())
+	}
+}
+
+func TestNewHeapAttachesSchemePerDesign(t *testing.T) {
+	// All four designs must accept heap creation; TxB designs allocate
+	// checksum tables (observable as extra data-page consumption).
+	var pagesUsed [4]uint64
+	for i, d := range param.Designs() {
+		s, err := harness.NewSystem(param.SmallTest(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.NewHeap("h", 2<<20, 4096); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		// Allocate a probe file; its start index reveals allocator usage.
+		f, err := s.FS.Create("probe", 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pagesUsed[i] = f.StartDI
+	}
+	if pagesUsed[2] <= pagesUsed[0] || pagesUsed[3] <= pagesUsed[0] {
+		t.Errorf("TxB designs did not allocate checksum tables: %v", pagesUsed)
+	}
+	if pagesUsed[1] <= pagesUsed[0] {
+		t.Errorf("Tvarak design did not allocate a DAX-CL-checksum region: %v", pagesUsed)
+	}
+}
+
+func TestVilambDesignThroughHarness(t *testing.T) {
+	// Full path: harness provisions the daemon cores, attaches the scheme
+	// per heap, runs daemons alongside workers, and reconciles at the end.
+	w := &toyHeapWorkload{}
+	r, err := harness.Run(param.SmallTest(param.Vilamb), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Design != param.Vilamb {
+		t.Errorf("result design = %v", r.Design)
+	}
+	if r.Stats.Cycles == 0 {
+		t.Error("zero runtime")
+	}
+	if w.sys.Vilambs[0].PagesProcessed == 0 {
+		t.Error("daemon processed no pages")
+	}
+	if w.sys.Vilambs[0].DirtyPages() != 0 {
+		t.Error("dirty pages left at end of fixed work")
+	}
+}
+
+// toyHeapWorkload commits transactions on a heap, for scheme-wiring tests.
+type toyHeapWorkload struct {
+	sys  *harness.System
+	heap *pmem.Heap
+	h    *heapRef
+}
+
+type heapRef struct {
+	id, off uint64
+}
+
+func (w *toyHeapWorkload) Name() string { return "toy-heap" }
+
+func (w *toyHeapWorkload) Setup(s *harness.System) error {
+	w.sys = s
+	h, err := s.NewHeap("toyheap", 2<<20, 1024)
+	if err != nil {
+		return err
+	}
+	w.h = &heapRef{}
+	s.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		w.h.id, w.h.off = h.Alloc(c, 256)
+	}})
+	w.heap = h
+	return nil
+}
+
+func (w *toyHeapWorkload) Workers(s *harness.System) []func(*sim.Core) {
+	return []func(*sim.Core){func(c *sim.Core) {
+		buf := make([]byte, 256)
+		for i := 0; i < 64; i++ {
+			buf[0] = byte(i)
+			tx := w.heap.Begin(c)
+			tx.Write(w.h.id, w.h.off, buf)
+			tx.Commit()
+			c.Compute(5000)
+		}
+	}}
+}

@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tvarak/internal/param"
+	"tvarak/internal/stats"
+)
+
+// Result is the outcome of one (workload, design) run: the four metrics of
+// Fig. 8. Variant distinguishes sub-configurations within a design (Fig. 9
+// ablation points, Fig. 10 way counts).
+type Result struct {
+	Workload string
+	Design   param.Design
+	Variant  string
+	Stats    stats.Stats
+}
+
+// Label is the display name: the design plus any variant.
+func (r *Result) Label() string {
+	if r.Variant == "" {
+		return r.Design.String()
+	}
+	return fmt.Sprintf("%s[%s]", r.Design, r.Variant)
+}
+
+// Runtime returns the fixed-work runtime in cycles.
+func (r *Result) Runtime() uint64 { return r.Stats.Cycles }
+
+// Table groups results and renders the paper-style comparison: absolute
+// metrics plus overhead relative to the Baseline run of the same workload.
+type Table struct {
+	Title   string
+	Results []*Result
+}
+
+// Add appends a result.
+func (t *Table) Add(r *Result) { t.Results = append(t.Results, r) }
+
+// baseline finds the Baseline result for a workload.
+func (t *Table) baseline(workload string) *Result {
+	for _, r := range t.Results {
+		if r.Workload == workload && r.Design == param.Baseline {
+			return r
+		}
+	}
+	return nil
+}
+
+// Overhead returns the runtime overhead of r relative to its workload's
+// baseline, as a fraction (0.03 = 3% slower), or NaN-free 0 when no
+// baseline exists.
+func (t *Table) Overhead(r *Result) float64 {
+	b := t.baseline(r.Workload)
+	if b == nil || b.Runtime() == 0 {
+		return 0
+	}
+	return float64(r.Runtime())/float64(b.Runtime()) - 1
+}
+
+// EnergyOverhead returns the energy overhead relative to baseline.
+func (t *Table) EnergyOverhead(r *Result) float64 {
+	b := t.baseline(r.Workload)
+	if b == nil || b.Stats.EnergyPJ == 0 {
+		return 0
+	}
+	return r.Stats.EnergyPJ/b.Stats.EnergyPJ - 1
+}
+
+// String renders the table: one row per run, in insertion order, with
+// runtime, energy, NVM accesses split data/redundancy, and cache accesses —
+// the layout of Fig. 8's four panels (plus variants for Figs. 9-10).
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	fmt.Fprintf(&b, "%-20s %-28s %13s %8s %11s %8s %11s %11s %12s\n",
+		"workload", "design", "runtime(cyc)", "vs base", "energy(uJ)", "vs base",
+		"nvm data", "nvm redun", "cache acc")
+	for _, r := range t.Results {
+		fmt.Fprintf(&b, "%-20s %-28s %13d %8s %11.1f %8s %11d %11d %12d\n",
+			r.Workload, r.Label(), r.Runtime(), pct(t.Overhead(r)),
+			r.Stats.EnergyPJ/1e6, pct(t.EnergyOverhead(r)),
+			r.Stats.NVM.Data(), r.Stats.NVM.Redundancy(), r.Stats.CacheTotal())
+	}
+	return b.String()
+}
+
+// Find returns the first result for (workload, design), or nil.
+func (t *Table) Find(workload string, d param.Design) *Result {
+	for _, r := range t.Results {
+		if r.Workload == workload && r.Design == d {
+			return r
+		}
+	}
+	return nil
+}
+
+// pct formats a fraction as "+3.1%".
+func pct(f float64) string {
+	return fmt.Sprintf("%+.1f%%", f*100)
+}
+
+// SortedDesigns is the paper's presentation order.
+func SortedDesigns(rs []*Result) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Workload != rs[j].Workload {
+			return rs[i].Workload < rs[j].Workload
+		}
+		return rs[i].Design < rs[j].Design
+	})
+}

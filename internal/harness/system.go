@@ -1,0 +1,178 @@
+// Package harness assembles complete simulated systems and runs the
+// paper's experiments: it owns the experiment registry (Table II), the
+// fixed-work methodology of §IV (setup → stat reset → measured run), and
+// the table rendering for every figure.
+package harness
+
+import (
+	"fmt"
+
+	"tvarak/internal/core"
+	"tvarak/internal/daxfs"
+	"tvarak/internal/param"
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+	"tvarak/internal/swred"
+)
+
+// System is one fully assembled machine: engine, optional TVARAK
+// controller, file system, and the design selection that decides which
+// redundancy machinery heaps get.
+type System struct {
+	Cfg  *param.Config
+	Eng  *sim.Engine
+	Ctrl *core.Controller // non-nil only under param.Tvarak
+	FS   *daxfs.FS
+
+	// Vilambs are the asynchronous schemes attached to this system's
+	// heaps (param.Vilamb only); Run schedules their daemons on the
+	// dedicated extra core.
+	Vilambs []*swred.Vilamb
+}
+
+// NewSystem builds the machine described by cfg. Under the Vilamb design
+// one extra core is provisioned for the redundancy daemon (Vilamb's design
+// runs its daemons on dedicated cores).
+func NewSystem(cfg *param.Config) (*System, error) {
+	if cfg.Design == param.Vilamb {
+		c2 := *cfg
+		c2.Cores += param.VilambDaemonCores
+		cfg = &c2
+	}
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Cfg: cfg, Eng: eng}
+	if cfg.Design == param.Tvarak {
+		s.Ctrl = core.New(eng)
+	}
+	s.FS, err = daxfs.New(eng, s.Ctrl)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewHeap creates a file of the given size, DAX-maps it, builds a
+// persistent heap on it, and attaches the software redundancy scheme when
+// the design is a TxB baseline. maxObjects sizes the object checksum table
+// for TxB-Object-Csums.
+func (s *System) NewHeap(name string, size uint64, maxObjects uint64) (*pmem.Heap, error) {
+	if _, err := s.FS.Create(name, size); err != nil {
+		return nil, err
+	}
+	m, err := s.FS.MMap(name)
+	if err != nil {
+		return nil, err
+	}
+	h, err := pmem.NewHeap(m, s.Cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Cfg.Design {
+	case param.TxBObjectCsums, param.TxBPageCsums:
+		if _, err := swred.Attach(s.FS, h, s.Cfg.Design, maxObjects); err != nil {
+			return nil, err
+		}
+	case param.Vilamb:
+		v, err := swred.AttachVilamb(s.FS, h, param.VilambEpochCyc)
+		if err != nil {
+			return nil, err
+		}
+		s.Vilambs = append(s.Vilambs, v)
+	}
+	return h, nil
+}
+
+// NewMapping creates and DAX-maps a plain file (fio and stream use raw
+// mappings rather than heaps). For TxB designs raw mappings have no
+// redundancy — faithful to Table I: the software schemes only cover data
+// accessed through their transactional interface.
+func (s *System) NewMapping(name string, size uint64) (*daxfs.DaxMap, error) {
+	if _, err := s.FS.Create(name, size); err != nil {
+		return nil, err
+	}
+	return s.FS.MMap(name)
+}
+
+// Workload is one application workload (one row group of Table II).
+type Workload interface {
+	// Name is the figure label, e.g. "redis/set".
+	Name() string
+	// Setup builds files/heaps and preloads data. It may run cores.
+	Setup(s *System) error
+	// Workers returns the measured fixed work, one function per core slot
+	// (nil entries idle the core).
+	Workers(s *System) []func(*sim.Core)
+}
+
+// Run executes one workload on a fresh system with the given config,
+// following the fixed-work methodology: setup, measurement reset, measured
+// run (which drains on completion). It returns the collected statistics.
+func Run(cfg *param.Config, w Workload) (*Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: building system for %s: %w", w.Name(), err)
+	}
+	if err := w.Setup(s); err != nil {
+		return nil, fmt.Errorf("harness: setup of %s: %w", w.Name(), err)
+	}
+	s.Eng.ResetMeasurement()
+	s.Eng.Run(s.WithDaemons(w.Workers(s)))
+	st := s.Eng.St.Clone()
+	return &Result{Workload: w.Name(), Design: cfg.Design, Stats: st}, nil
+}
+
+// WithDaemons augments a worker list with the Vilamb daemons (if any): the
+// daemons run on the spare core(s) and stop, after a final reconciliation
+// pass, once every application worker has finished. The engine is
+// single-stepped, so the shared flag needs no synchronization.
+func (s *System) WithDaemons(workers []func(*sim.Core)) []func(*sim.Core) {
+	if len(s.Vilambs) == 0 {
+		return workers
+	}
+	stop := false
+	remaining := 0
+	wrapped := make([]func(*sim.Core), len(workers), s.Cfg.Cores)
+	for i, w := range workers {
+		if w == nil {
+			continue
+		}
+		remaining++
+		w := w
+		wrapped[i] = func(c *sim.Core) {
+			w(c)
+			remaining--
+			if remaining == 0 {
+				stop = true
+			}
+		}
+	}
+	daemons := min(param.VilambDaemonCores, len(s.Vilambs))
+	if len(wrapped)+daemons > s.Cfg.Cores {
+		panic("harness: no spare cores for the Vilamb daemons")
+	}
+	// The daemon pool splits the heaps' schemes round-robin.
+	for d := 0; d < daemons; d++ {
+		var vs []*swred.Vilamb
+		for i := d; i < len(s.Vilambs); i += daemons {
+			vs = append(vs, s.Vilambs[i])
+		}
+		wrapped = append(wrapped, func(c *sim.Core) {
+			const slice = 10000 // interruptible sleep so daemon idle time does not pad the fixed-work runtime
+			for !stop {
+				for slept := uint64(0); !stop && slept < param.VilambEpochCyc; slept += slice {
+					c.Compute(slice)
+				}
+				for _, v := range vs {
+					v.ProcessEpoch(c)
+				}
+			}
+			for _, v := range vs {
+				v.ProcessEpoch(c) // reconcile the tail
+			}
+		})
+	}
+	return wrapped
+}

@@ -1,0 +1,331 @@
+// Package nvm models the simulated machine's memory devices: NVM DIMMs
+// (page-interleaved, with injectable firmware bugs and device-level ECC)
+// and DRAM DIMMs (line-interleaved). Devices are backed by real bytes so
+// that checksums, parity, corruption and recovery are computed over real
+// content rather than emulated with flags.
+//
+// Faithful to §II-A of the paper, device-level ECC is read and written as
+// an atom with its data by the firmware during each media access, so it
+// detects media corruption (bit flips) but can never detect lost-write or
+// misdirected-read/write firmware bugs: a lost write loses the ECC update
+// too, and a misdirected access moves data and ECC together.
+package nvm
+
+import (
+	"errors"
+	"fmt"
+
+	"tvarak/internal/geom"
+	"tvarak/internal/param"
+	"tvarak/internal/stats"
+	"tvarak/internal/xsum"
+)
+
+// Class tags an access for the NVM data-vs-redundancy split in Fig. 8.
+type Class int
+
+const (
+	// Data marks demand application-data accesses.
+	Data Class = iota
+	// Redundancy marks accesses performed only to maintain or verify
+	// redundancy: checksum lines, parity lines, and old-data reads on the
+	// writeback path.
+	Redundancy
+)
+
+// ErrECC is returned when the device-level ECC detects media corruption.
+var ErrECC = errors.New("nvm: device ECC mismatch (media corruption)")
+
+// Kind distinguishes the two memory technologies.
+type Kind int
+
+const (
+	// NVMKind interleaves pages across DIMMs (required by the parity
+	// geometry, Fig. 3).
+	NVMKind Kind = iota
+	// DRAMKind interleaves cache lines across DIMMs.
+	DRAMKind
+)
+
+type bugKind int
+
+const (
+	lostWrite bugKind = iota
+	misdirectedWrite
+	misdirectedRead
+)
+
+type bug struct {
+	kind   bugKind
+	target uint64 // where a misdirected access actually lands / reads from
+}
+
+type dimm struct {
+	data    []byte
+	ecc     []uint32 // one device ECC word per line, stored "with" the data
+	busyCyc uint64   // accumulated transfer occupancy (bandwidth bound)
+	reads   uint64
+	writes  uint64
+}
+
+// Memory is one memory pool (all NVM DIMMs or all DRAM DIMMs).
+type Memory struct {
+	kind     Kind
+	geo      geom.Geometry
+	p        param.MemParams
+	base     uint64
+	size     uint64
+	dimms    []*dimm
+	lineSize int
+	st       *stats.Stats
+
+	// One-shot firmware bugs armed by tests and fault-injection tools,
+	// keyed by intended line address. NVM only.
+	bugsW map[uint64]bug
+	bugsR map[uint64]bug
+}
+
+// New builds a memory pool. For NVMKind the pool spans
+// [geo.NVMBase(), geo.NVMEnd()); for DRAMKind it spans [0, geo.DRAMBytes).
+func New(kind Kind, geo geom.Geometry, p param.MemParams, st *stats.Stats) *Memory {
+	m := &Memory{
+		kind:     kind,
+		geo:      geo,
+		p:        p,
+		lineSize: geo.LineSize,
+		st:       st,
+		bugsW:    make(map[uint64]bug),
+		bugsR:    make(map[uint64]bug),
+	}
+	if kind == NVMKind {
+		m.base = geo.NVMBase()
+		m.size = uint64(geo.NVMBytes)
+	} else {
+		m.base = 0
+		m.size = uint64(geo.DRAMBytes)
+	}
+	per := int(m.size) / p.DIMMs
+	zeroECC := xsum.Checksum(make([]byte, m.lineSize))
+	m.dimms = make([]*dimm, p.DIMMs)
+	for i := range m.dimms {
+		d := &dimm{
+			data: make([]byte, per),
+			ecc:  make([]uint32, per/m.lineSize),
+		}
+		// Fresh media is zeroed; its ECC must verify.
+		for j := range d.ecc {
+			d.ecc[j] = zeroECC
+		}
+		m.dimms[i] = d
+	}
+	return m
+}
+
+// Contains reports whether addr belongs to this pool.
+func (m *Memory) Contains(addr uint64) bool {
+	return addr >= m.base && addr < m.base+m.size
+}
+
+// locate maps a line address to (dimm, byte offset within the DIMM).
+func (m *Memory) locate(addr uint64) (*dimm, uint64) {
+	rel := addr - m.base
+	if m.kind == NVMKind {
+		page := rel / uint64(m.geo.PageSize)
+		d := int(page % uint64(m.p.DIMMs))
+		off := (page/uint64(m.p.DIMMs))*uint64(m.geo.PageSize) + rel%uint64(m.geo.PageSize)
+		return m.dimms[d], off
+	}
+	line := rel / uint64(m.lineSize)
+	d := int(line % uint64(m.p.DIMMs))
+	off := (line/uint64(m.p.DIMMs))*uint64(m.lineSize) + rel%uint64(m.lineSize)
+	return m.dimms[d], off
+}
+
+func (m *Memory) checkLine(addr uint64) uint64 {
+	la := m.geo.LineAddr(addr)
+	if la != addr {
+		panic(fmt.Sprintf("nvm: unaligned line address %#x", addr))
+	}
+	if !m.Contains(addr) {
+		panic(fmt.Sprintf("nvm: address %#x outside pool [%#x,%#x)", addr, m.base, m.base+m.size))
+	}
+	return la
+}
+
+// ReadLine performs a timed media read of the 64 B line at addr into buf,
+// accounting stats and DIMM occupancy. It returns the completion cycle.
+// A pending misdirected-read bug silently returns another line's content;
+// device ECC cannot catch that (the wrong line's ECC matches the wrong
+// line's data), but genuine media corruption returns ErrECC.
+func (m *Memory) ReadLine(now uint64, addr uint64, class Class, buf []byte) (uint64, error) {
+	m.checkLine(addr)
+	src := addr
+	if b, ok := m.bugsR[addr]; ok && b.kind == misdirectedRead {
+		delete(m.bugsR, addr)
+		src = b.target
+	}
+	d, off := m.locate(src)
+	d.busyCyc += m.p.ReadOccupancyCyc
+	d.reads++
+	if m.st != nil {
+		if m.kind == NVMKind {
+			m.st.AddNVM(false, class == Redundancy, m.p.ReadEnergyPJ)
+		} else {
+			m.st.AddDRAM(false, m.p.ReadEnergyPJ)
+		}
+	}
+	copy(buf, d.data[off:off+uint64(m.lineSize)])
+	if d.ecc[off/uint64(m.lineSize)] != xsum.Checksum(buf) {
+		if m.st != nil {
+			m.st.ECCErrors++
+		}
+		return now + m.p.ReadCyc, ErrECC
+	}
+	return now + m.p.ReadCyc, nil
+}
+
+// WriteLine performs a timed media write of data to the line at addr.
+// A pending lost-write bug acknowledges without touching media; a pending
+// misdirected-write bug writes data (and its ECC, atomically) to the wrong
+// line. The completion cycle is returned.
+func (m *Memory) WriteLine(now uint64, addr uint64, class Class, data []byte) uint64 {
+	m.checkLine(addr)
+	dst := addr
+	if b, ok := m.bugsW[addr]; ok {
+		delete(m.bugsW, addr)
+		switch b.kind {
+		case lostWrite:
+			// Acknowledge without updating media. Occupancy and stats
+			// still accrue: the request was issued and "serviced".
+			d, _ := m.locate(addr)
+			d.busyCyc += m.p.WriteOccupancyCyc
+			d.writes++
+			if m.st != nil {
+				m.addWriteStats(class)
+			}
+			return now + m.p.WriteCyc
+		case misdirectedWrite:
+			dst = b.target
+		}
+	}
+	d, off := m.locate(dst)
+	d.busyCyc += m.p.WriteOccupancyCyc
+	d.writes++
+	if m.st != nil {
+		m.addWriteStats(class)
+	}
+	copy(d.data[off:off+uint64(m.lineSize)], data)
+	d.ecc[off/uint64(m.lineSize)] = xsum.Checksum(data)
+	return now + m.p.WriteCyc
+}
+
+func (m *Memory) addWriteStats(class Class) {
+	if m.kind == NVMKind {
+		m.st.AddNVM(true, class == Redundancy, m.p.WriteEnergyPJ)
+	} else {
+		m.st.AddDRAM(true, m.p.WriteEnergyPJ)
+	}
+}
+
+// ReadRaw copies current media content without timing, stats, bug or ECC
+// effects. Setup, verification and recovery-checking code uses it.
+func (m *Memory) ReadRaw(addr uint64, buf []byte) {
+	for n := 0; n < len(buf); {
+		la := m.geo.LineAddr(addr + uint64(n))
+		d, off := m.locate(la)
+		lo := (addr + uint64(n)) - la
+		c := copy(buf[n:], d.data[off+lo:off+uint64(m.lineSize)])
+		n += c
+	}
+}
+
+// WriteRaw writes media content directly (with consistent ECC), without
+// timing, stats or bugs. Used for setup and by recovery to repair media.
+func (m *Memory) WriteRaw(addr uint64, data []byte) {
+	line := make([]byte, m.lineSize)
+	for n := 0; n < len(data); {
+		la := m.geo.LineAddr(addr + uint64(n))
+		d, off := m.locate(la)
+		lo := (addr + uint64(n)) - la
+		c := copy(line, data[n:])
+		if uint64(c) > uint64(m.lineSize)-lo {
+			c = int(uint64(m.lineSize) - lo)
+		}
+		copy(d.data[off+lo:], data[n:n+c])
+		full := d.data[off : off+uint64(m.lineSize)]
+		d.ecc[off/uint64(m.lineSize)] = xsum.Checksum(full)
+		n += c
+	}
+}
+
+// InjectLostWrite arms a one-shot lost-write firmware bug: the next
+// WriteLine to lineAddr is acknowledged but never reaches media (Fig. 1).
+func (m *Memory) InjectLostWrite(lineAddr uint64) {
+	m.bugsW[m.checkLine(lineAddr)] = bug{kind: lostWrite}
+}
+
+// InjectMisdirectedWrite arms a one-shot misdirected-write bug: the next
+// WriteLine intended for intended lands on actual instead, corrupting it
+// (Fig. 2).
+func (m *Memory) InjectMisdirectedWrite(intended, actual uint64) {
+	m.checkLine(actual)
+	m.bugsW[m.checkLine(intended)] = bug{kind: misdirectedWrite, target: actual}
+}
+
+// InjectMisdirectedRead arms a one-shot misdirected-read bug: the next
+// ReadLine of intended returns the content of actual.
+func (m *Memory) InjectMisdirectedRead(intended, actual uint64) {
+	m.checkLine(actual)
+	m.bugsR[m.checkLine(intended)] = bug{kind: misdirectedRead, target: actual}
+}
+
+// FlipBit corrupts one media bit without updating ECC, modelling media
+// corruption that device ECC does detect.
+func (m *Memory) FlipBit(addr uint64, bit uint) {
+	la := m.geo.LineAddr(addr)
+	d, off := m.locate(la)
+	d.data[off+(addr-la)] ^= 1 << (bit % 8)
+}
+
+// PendingBugs reports how many injected bugs have not fired yet.
+func (m *Memory) PendingBugs() int { return len(m.bugsW) + len(m.bugsR) }
+
+// ResetTiming clears DIMM queueing state and per-DIMM counters so a new
+// measured region starts with idle devices.
+func (m *Memory) ResetTiming() {
+	for _, d := range m.dimms {
+		d.busyCyc = 0
+		d.reads = 0
+		d.writes = 0
+	}
+}
+
+// BusyUntil returns the busiest DIMM's accumulated transfer occupancy — a
+// lower bound on the run's duration imposed by per-DIMM bandwidth. The
+// engine folds it into the fixed-work runtime so bandwidth-bound workloads
+// (stream) are limited by DIMM occupancy as in the paper. Individual
+// accesses see fixed service latency (queueing delay is not modeled
+// per-request; the throughput bound captures saturation — see DESIGN.md).
+func (m *Memory) BusyUntil() uint64 {
+	var t uint64
+	for _, d := range m.dimms {
+		t = max(t, d.busyCyc)
+	}
+	return t
+}
+
+// DIMMAccesses returns per-DIMM (reads, writes) counters, used by tests to
+// check interleaving and by the harness for reporting.
+func (m *Memory) DIMMAccesses() (reads, writes []uint64) {
+	for _, d := range m.dimms {
+		reads = append(reads, d.reads)
+		writes = append(writes, d.writes)
+	}
+	return reads, writes
+}
+
+// Base returns the pool's first physical address.
+func (m *Memory) Base() uint64 { return m.base }
+
+// Size returns the pool's capacity in bytes.
+func (m *Memory) Size() uint64 { return m.size }

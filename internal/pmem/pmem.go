@@ -1,0 +1,268 @@
+// Package pmem is a PMDK-libpmemobj-like persistent heap over a DAX
+// mapping: an object allocator plus undo-log transactions. All persistent
+// state (allocator bump pointer, undo-log lanes, object headers, object
+// payloads) lives in simulated NVM and is read and written with simulated
+// loads and stores on the calling core, so transactions generate the
+// persistent metadata traffic the paper highlights (e.g., Redis get-only
+// workloads still write to NVM because gets run transactions).
+//
+// Transaction commit invokes the CommitHook, which is where the software
+// redundancy schemes (TxB-Object-Csums, TxB-Page-Csums; package
+// internal/swred) do their work — "TxB" is exactly this transaction
+// boundary.
+package pmem
+
+import (
+	"fmt"
+
+	"tvarak/internal/daxfs"
+	"tvarak/internal/sim"
+)
+
+// Range records one transactionally modified region of the heap, in mapping
+// offsets. ObjID identifies the enclosing object for object-granular
+// checksums.
+type Range struct {
+	Off   uint64
+	Len   uint64
+	ObjID uint64
+}
+
+// CommitHook runs at every transaction boundary with the set of modified
+// ranges (software redundancy schemes implement it).
+type CommitHook interface {
+	OnCommit(c *sim.Core, h *Heap, ranges []Range)
+}
+
+const (
+	headerBytes = 64
+	laneBytes   = 8 << 10
+	objHeader   = 16 // [size 8B | id 8B] before each payload
+
+	// Header field offsets.
+	hdrBump   = 0
+	hdrNextID = 8
+
+	// Lane field offsets.
+	laneState = 0
+	laneIdle  = 0
+	laneArmed = 1
+	laneCmt   = 2
+)
+
+// Object describes an allocated object.
+type Object struct {
+	Off  uint64 // payload offset within the mapping
+	Size uint64
+}
+
+// Heap is a persistent object heap inside one DAX-mapped file.
+type Heap struct {
+	Map  *daxfs.DaxMap
+	hook CommitHook
+
+	lanes    int
+	heapBase uint64
+
+	// Go-side mirrors of persistent allocator state (the persistent copy
+	// is authoritative and kept in sync with simulated stores).
+	bump   uint64
+	nextID uint64
+
+	objects  map[uint64]Object   // id → object
+	freeList map[uint64][]uint64 // size → payload offsets
+}
+
+// NewHeap initializes a heap over m with one undo-log lane per core.
+func NewHeap(m *daxfs.DaxMap, cores int) (*Heap, error) {
+	h := &Heap{
+		Map:      m,
+		lanes:    cores,
+		heapBase: headerBytes + uint64(cores)*laneBytes,
+		objects:  make(map[uint64]Object),
+		freeList: make(map[uint64][]uint64),
+	}
+	if h.heapBase >= m.Size() {
+		return nil, fmt.Errorf("pmem: mapping of %d bytes too small for %d lanes", m.Size(), cores)
+	}
+	h.bump = h.heapBase
+	return h, nil
+}
+
+// SetCommitHook installs the software redundancy scheme (nil for none).
+func (h *Heap) SetCommitHook(hook CommitHook) { h.hook = hook }
+
+// Object returns the object with the given id.
+func (h *Heap) Object(id uint64) (Object, bool) {
+	o, ok := h.objects[id]
+	return o, ok
+}
+
+// NumObjects returns how many objects have ever been allocated (object ids
+// are dense in [0, NumObjects)).
+func (h *Heap) NumObjects() uint64 { return h.nextID }
+
+// Alloc allocates a payload of size bytes (16-byte aligned, reusing freed
+// objects of the same size), persisting the object header and allocator
+// state with simulated stores on c. It returns the object id and payload
+// offset.
+func (h *Heap) Alloc(c *sim.Core, size uint64) (id, off uint64) {
+	size = (size + 15) &^ 15
+	id = h.nextID
+	h.nextID++
+	if free := h.freeList[size]; len(free) > 0 {
+		off = free[len(free)-1]
+		h.freeList[size] = free[:len(free)-1]
+	} else {
+		off = h.bump + objHeader
+		h.bump += objHeader + size
+		if h.bump > h.Map.Size() {
+			panic(fmt.Sprintf("pmem: heap exhausted (%d of %d bytes)", h.bump, h.Map.Size()))
+		}
+		h.Map.Store64(c, hdrBump, h.bump) // persist allocator state
+	}
+	h.Map.Store64(c, off-objHeader, size) // object header
+	h.Map.Store64(c, off-objHeader+8, id)
+	h.Map.Store64(c, hdrNextID, h.nextID)
+	h.objects[id] = Object{Off: off, Size: size}
+	return id, off
+}
+
+// Free returns an object's storage to the size-class free list. (The free
+// list itself is volatile bookkeeping; a production allocator would persist
+// it, which only adds a constant number of stores per free.)
+func (h *Heap) Free(c *sim.Core, id uint64) {
+	o, ok := h.objects[id]
+	if !ok {
+		panic(fmt.Sprintf("pmem: free of unknown object %d", id))
+	}
+	delete(h.objects, id)
+	h.freeList[o.Size] = append(h.freeList[o.Size], o.Off)
+}
+
+// ---------------------------------------------------------------------------
+// Undo-log transactions
+// ---------------------------------------------------------------------------
+
+// Tx is one undo-log transaction bound to a core (one lane per core).
+type Tx struct {
+	h       *Heap
+	c       *sim.Core
+	lane    uint64
+	logOff  uint64
+	ranges  []Range
+	logged  map[uint64]bool // line-granular dedup of snapshots
+	entries []logEntry      // snapshots taken, in order, for Abort
+}
+
+// logEntry locates one undo image in the lane.
+type logEntry struct {
+	off, n, logData uint64
+}
+
+// Begin starts a transaction on core c, persisting the lane state.
+func (h *Heap) Begin(c *sim.Core) *Tx {
+	if c.ID >= h.lanes {
+		panic(fmt.Sprintf("pmem: core %d has no lane (%d lanes)", c.ID, h.lanes))
+	}
+	lane := headerBytes + uint64(c.ID)*laneBytes
+	tx := &Tx{h: h, c: c, lane: lane, logOff: lane + 8, logged: make(map[uint64]bool)}
+	h.Map.Store64(c, lane+laneState, laneArmed)
+	return tx
+}
+
+// Snapshot undo-logs [off, off+n) of object objID before modification:
+// the old content is loaded and appended to the lane (header + data), as
+// libpmemobj's TX_ADD does.
+func (tx *Tx) Snapshot(objID, off, n uint64) {
+	if tx.logged[off] && n <= 64 {
+		tx.mergeRange(objID, off, n)
+		return
+	}
+	tx.logged[off] = true
+	if tx.logOff+16+n > tx.lane+laneBytes {
+		// Lane full: model libpmemobj's overflow by resetting (the
+		// snapshot data still costs its loads and stores).
+		tx.logOff = tx.lane + 8
+	}
+	buf := make([]byte, n)
+	tx.h.Map.Load(tx.c, off, buf)
+	tx.h.Map.Store64(tx.c, tx.logOff, off)
+	tx.h.Map.Store64(tx.c, tx.logOff+8, n)
+	tx.h.Map.Store(tx.c, tx.logOff+16, buf)
+	tx.entries = append(tx.entries, logEntry{off: off, n: n, logData: tx.logOff + 16})
+	tx.logOff += 16 + (n+15)&^15
+	tx.mergeRange(objID, off, n)
+}
+
+func (tx *Tx) mergeRange(objID, off, n uint64) {
+	for i := range tx.ranges {
+		r := &tx.ranges[i]
+		if r.ObjID == objID && off >= r.Off && off+n <= r.Off+r.Len {
+			return
+		}
+	}
+	tx.ranges = append(tx.ranges, Range{Off: off, Len: n, ObjID: objID})
+}
+
+// Write snapshots and then stores data at offset off of object objID.
+func (tx *Tx) Write(objID, off uint64, data []byte) {
+	tx.Snapshot(objID, off, uint64(len(data)))
+	tx.h.Map.Store(tx.c, off, data)
+}
+
+// WriteFresh stores into an object allocated within this transaction:
+// no undo logging is needed (libpmemobj skips logging for new objects),
+// but the range is still recorded so redundancy schemes cover it.
+func (tx *Tx) WriteFresh(objID, off uint64, data []byte) {
+	tx.mergeRange(objID, off, uint64(len(data)))
+	tx.h.Map.Store(tx.c, off, data)
+}
+
+// WriteFresh64 is WriteFresh for one 8-byte word.
+func (tx *Tx) WriteFresh64(objID, off uint64, v uint64) {
+	tx.mergeRange(objID, off, 8)
+	tx.h.Map.Store64(tx.c, off, v)
+}
+
+// Write64 snapshots and stores one 8-byte word.
+func (tx *Tx) Write64(objID, off uint64, v uint64) {
+	tx.Snapshot(objID, off, 8)
+	tx.h.Map.Store64(tx.c, off, v)
+}
+
+// Commit persists the commit record, runs the TxB hook (software redundancy
+// schemes), and releases the lane.
+func (tx *Tx) Commit() {
+	tx.h.Map.Store64(tx.c, tx.lane+laneState, laneCmt)
+	if tx.h.hook != nil && len(tx.ranges) > 0 {
+		tx.h.hook.OnCommit(tx.c, tx.h, tx.ranges)
+	}
+	tx.h.Map.Store64(tx.c, tx.lane+laneState, laneIdle)
+	tx.ranges = tx.ranges[:0]
+	tx.entries = tx.entries[:0]
+}
+
+// Abort rolls the transaction back: every snapshot's undo image is applied
+// in reverse order (as libpmemobj does on tx abort or crash recovery), the
+// lane is released, and no TxB hook runs — aborted work needs no
+// redundancy update because the data returns to its pre-transaction state.
+// Writes to fresh objects (WriteFresh) are not rolled back; callers discard
+// those objects.
+func (tx *Tx) Abort() {
+	buf := make([]byte, 64)
+	for i := len(tx.entries) - 1; i >= 0; i-- {
+		e := tx.entries[i]
+		if uint64(len(buf)) < e.n {
+			buf = make([]byte, e.n)
+		}
+		tx.h.Map.Load(tx.c, e.logData, buf[:e.n])
+		tx.h.Map.Store(tx.c, e.off, buf[:e.n])
+	}
+	tx.h.Map.Store64(tx.c, tx.lane+laneState, laneIdle)
+	tx.ranges = tx.ranges[:0]
+	tx.entries = tx.entries[:0]
+}
+
+// Ranges exposes the modified ranges (tests use it).
+func (tx *Tx) Ranges() []Range { return tx.ranges }

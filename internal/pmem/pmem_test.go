@@ -1,0 +1,332 @@
+package pmem_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+)
+
+func fixture(t *testing.T, d param.Design) (*harness.System, *pmem.Heap) {
+	t.Helper()
+	sys, err := harness.NewSystem(param.SmallTest(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.NewHeap("heap", 4<<20, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, h
+}
+
+func TestAllocWriteRead(t *testing.T) {
+	sys, h := fixture(t, param.Tvarak)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 100)
+		if id != 0 {
+			t.Errorf("first object id = %d", id)
+		}
+		data := bytes.Repeat([]byte{0x42}, 100)
+		h.Map.Store(c, off, data)
+		got := make([]byte, 100)
+		h.Map.Load(c, off, got)
+		if !bytes.Equal(got, data) {
+			t.Error("object round trip failed")
+		}
+		obj, ok := h.Object(id)
+		if !ok || obj.Off != off || obj.Size != 112 { // rounded to 16
+			t.Errorf("Object(%d) = %+v ok=%v", id, obj, ok)
+		}
+	}})
+}
+
+func TestAllocIDsAreDense(t *testing.T) {
+	sys, h := fixture(t, param.Baseline)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		for i := uint64(0); i < 100; i++ {
+			id, _ := h.Alloc(c, 32)
+			if id != i {
+				t.Fatalf("alloc %d returned id %d", i, id)
+			}
+		}
+		if h.NumObjects() != 100 {
+			t.Errorf("NumObjects = %d", h.NumObjects())
+		}
+	}})
+}
+
+func TestFreeReusesStorage(t *testing.T) {
+	sys, h := fixture(t, param.Baseline)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 64)
+		h.Free(c, id)
+		id2, off2 := h.Alloc(c, 64)
+		if off2 != off {
+			t.Errorf("freed storage not reused: %#x vs %#x", off2, off)
+		}
+		if id2 == id {
+			t.Error("object id reused (ids must stay unique)")
+		}
+		if _, ok := h.Object(id); ok {
+			t.Error("freed object still visible")
+		}
+	}})
+}
+
+func TestTxWriteRecordsRanges(t *testing.T) {
+	sys, h := fixture(t, param.Baseline)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 128)
+		tx := h.Begin(c)
+		tx.Write64(id, off, 7)
+		tx.Write(id, off+8, []byte{1, 2, 3})
+		tx.Write64(id, off, 9) // same word: deduped by merge
+		rs := tx.Ranges()
+		if len(rs) != 2 {
+			t.Fatalf("ranges = %+v, want 2 entries", rs)
+		}
+		for _, r := range rs {
+			if r.ObjID != id {
+				t.Errorf("range object = %d, want %d", r.ObjID, id)
+			}
+		}
+		tx.Commit()
+		if len(tx.Ranges()) != 0 {
+			t.Error("ranges survive commit")
+		}
+		if got := h.Map.Load64(c, off); got != 9 {
+			t.Errorf("committed value = %d, want 9", got)
+		}
+	}})
+}
+
+// hookRecorder captures commit-hook invocations.
+type hookRecorder struct {
+	calls  int
+	ranges int
+}
+
+func (r *hookRecorder) OnCommit(c *sim.Core, h *pmem.Heap, rs []pmem.Range) {
+	r.calls++
+	r.ranges += len(rs)
+}
+
+func TestCommitHookFiresOnlyWithRanges(t *testing.T) {
+	sys, h := fixture(t, param.Baseline)
+	rec := &hookRecorder{}
+	h.SetCommitHook(rec)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		// Empty transaction: metadata writes but no hook.
+		tx := h.Begin(c)
+		tx.Commit()
+		if rec.calls != 0 {
+			t.Error("hook fired for empty transaction")
+		}
+		id, off := h.Alloc(c, 64)
+		tx = h.Begin(c)
+		tx.Write64(id, off, 1)
+		tx.Commit()
+		if rec.calls != 1 || rec.ranges != 1 {
+			t.Errorf("hook calls=%d ranges=%d, want 1/1", rec.calls, rec.ranges)
+		}
+	}})
+}
+
+func TestSnapshotWritesUndoImageToNVM(t *testing.T) {
+	sys, h := fixture(t, param.Baseline)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 64)
+		h.Map.Store64(c, off, 0xdead)
+		tx := h.Begin(c)
+		tx.Write64(id, off, 0xbeef)
+		tx.Commit()
+	}})
+	// The undo log (lane region) must hold the old value somewhere: scan
+	// the first lane for 0xdead after drain. Lanes start at offset 64 of
+	// the heap file.
+	sys.Eng.DropCaches()
+	found := false
+	lane := make([]byte, 8<<10)
+	for n := 0; n < len(lane); n += 4096 {
+		sys.Eng.NVM.ReadRaw(mapAddr(sys, "heap", uint64(64+n)), lane[n:n+min(4096, len(lane)-n)])
+	}
+	for i := 0; i+8 <= len(lane); i += 8 {
+		if le64(lane[i:]) == 0xdead {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("undo image (old value) not found in the log lane")
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func mapAddr(sys *harness.System, name string, off uint64) uint64 {
+	f, err := sys.FS.Open(name)
+	if err != nil {
+		panic(err)
+	}
+	return sys.FS.Geometry().DataIndexAddr(f.StartDI, off)
+}
+
+func TestTxGeneratesNVMWrites(t *testing.T) {
+	// The paper's observation: transactions write persistent metadata even
+	// when the application writes nothing (Redis get-only). Measure that
+	// empty Begin/Commit pairs still dirty NVM lines.
+	sys, h := fixture(t, param.Baseline)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		h.Alloc(c, 64) // touch heap
+	}})
+	sys.Eng.ResetMeasurement()
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		for i := 0; i < 100; i++ {
+			tx := h.Begin(c)
+			tx.Commit()
+		}
+	}})
+	if sys.Eng.St.NVM.DataWrites == 0 {
+		t.Error("empty transactions produced no NVM writes (lane state should be persistent)")
+	}
+}
+
+func TestLaneExhaustionWraps(t *testing.T) {
+	sys, h := fixture(t, param.Baseline)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 4096)
+		rng := rand.New(rand.NewSource(1))
+		// Snapshot far more than one 8 KB lane holds.
+		for i := 0; i < 50; i++ {
+			tx := h.Begin(c)
+			o := uint64(rng.Intn(3800))
+			tx.Write(id, off+o, bytes.Repeat([]byte{byte(i)}, 200))
+			tx.Commit()
+		}
+	}})
+}
+
+func TestHeapExhaustionPanics(t *testing.T) {
+	sys, h := fixture(t, param.Baseline)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		defer func() {
+			if recover() == nil {
+				t.Error("allocating beyond heap capacity did not panic")
+			}
+		}()
+		for {
+			h.Alloc(c, 1<<20)
+		}
+	}})
+}
+
+func TestPerCoreLanesAreIndependent(t *testing.T) {
+	sys, h := fixture(t, param.Baseline)
+	var offs [2]uint64
+	var ids [2]uint64
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		ids[0], offs[0] = h.Alloc(c, 64)
+		ids[1], offs[1] = h.Alloc(c, 64)
+	}})
+	sys.Eng.Run([]func(*sim.Core){
+		func(c *sim.Core) {
+			for i := 0; i < 200; i++ {
+				tx := h.Begin(c)
+				tx.Write64(ids[0], offs[0], uint64(i))
+				tx.Commit()
+			}
+		},
+		func(c *sim.Core) {
+			for i := 0; i < 200; i++ {
+				tx := h.Begin(c)
+				tx.Write64(ids[1], offs[1], uint64(i)*3)
+				tx.Commit()
+			}
+		},
+	})
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		if got := h.Map.Load64(c, offs[0]); got != 199 {
+			t.Errorf("core0 object = %d, want 199", got)
+		}
+		if got := h.Map.Load64(c, offs[1]); got != 199*3 {
+			t.Errorf("core1 object = %d, want 597", got)
+		}
+	}})
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	sys, h := fixture(t, param.Tvarak)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 128)
+		orig := bytes.Repeat([]byte{0x10}, 128)
+		h.Map.Store(c, off, orig)
+		tx := h.Begin(c)
+		tx.Write(id, off, bytes.Repeat([]byte{0x20}, 128))
+		tx.Write64(id, off+8, 0x3030303030303030)
+		tx.Abort()
+		got := make([]byte, 128)
+		h.Map.Load(c, off, got)
+		if !bytes.Equal(got, orig) {
+			t.Error("abort did not restore pre-transaction content")
+		}
+		// A fresh transaction works after an abort.
+		tx = h.Begin(c)
+		tx.Write64(id, off, 42)
+		tx.Commit()
+		if h.Map.Load64(c, off) != 42 {
+			t.Error("transaction after abort broken")
+		}
+	}})
+	// TVARAK stays consistent through the rollback stores.
+	if sys.Eng.St.CorruptionsDetected != 0 {
+		t.Error("rollback produced corruption detections")
+	}
+}
+
+func TestAbortDoesNotRunHook(t *testing.T) {
+	sys, h := fixture(t, param.Baseline)
+	rec := &hookRecorder{}
+	h.SetCommitHook(rec)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 64)
+		tx := h.Begin(c)
+		tx.Write64(id, off, 1)
+		tx.Abort()
+	}})
+	if rec.calls != 0 {
+		t.Error("TxB hook ran for an aborted transaction")
+	}
+}
+
+func TestAbortReverseOrderOverlappingSnapshots(t *testing.T) {
+	// Overlapping snapshots of the same word: reverse-order replay must
+	// restore the ORIGINAL value, not an intermediate one.
+	sys, h := fixture(t, param.Baseline)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 64)
+		h.Map.Store64(c, off, 111)
+		tx := h.Begin(c)
+		tx.Snapshot(id, off, 8)
+		h.Map.Store64(c, off, 222)
+		// Force a second snapshot of the same word by exceeding the
+		// line-dedup (Snapshot dedups ≤64B at same offset, so snapshot a
+		// larger range covering it).
+		tx.Snapshot(id, off, 65)
+		h.Map.Store64(c, off, 333)
+		tx.Abort()
+		if got := h.Map.Load64(c, off); got != 111 {
+			t.Errorf("after abort value = %d, want original 111", got)
+		}
+	}})
+}

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+
+	"tvarak/internal/cache"
+)
+
+// CheckInvariants validates the structural invariants of the hierarchy and
+// returns the first violation found. Tests call it after workloads; it is
+// not part of the simulated machine.
+//
+// Invariants:
+//  1. L1 ⊆ L2 per core, and private lines ⊆ LLC (inclusive hierarchy).
+//  2. The LLC directory covers every private copy: if core i holds a line,
+//     bit i of the LLC line's Owners is set.
+//  3. A line Modified in any private cache has exactly one owning core.
+//  4. Data lines live only in data ways; any line in the redundancy or
+//     diff partitions is never present in a private cache.
+func (e *Engine) CheckInvariants() error {
+	type holder struct {
+		cores []int
+		dirty bool
+	}
+	held := map[uint64]*holder{}
+	for _, c := range e.Cores {
+		for lvl, pc := range []*cache.Cache{c.l1, c.l2} {
+			var err error
+			pc.ForEach(0, pc.Ways(), func(l *cache.Line) {
+				if err != nil {
+					return
+				}
+				if lvl == 0 { // L1 ⊆ L2
+					if c.l2.Lookup(l.Addr, 0, c.l2.Ways()) == nil {
+						err = fmt.Errorf("sim: core %d L1 line %#x missing from L2", c.ID, l.Addr)
+						return
+					}
+				}
+				h := held[l.Addr]
+				if h == nil {
+					h = &holder{}
+					held[l.Addr] = h
+				}
+				if len(h.cores) == 0 || h.cores[len(h.cores)-1] != c.ID {
+					h.cores = append(h.cores, c.ID)
+				}
+				if l.Dirty() {
+					h.dirty = true
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for addr, h := range held {
+		ll := e.Bank(addr).Lookup(addr, 0, e.dataWays)
+		if ll == nil {
+			return fmt.Errorf("sim: private line %#x missing from LLC data partition (inclusion)", addr)
+		}
+		for _, id := range h.cores {
+			if ll.Owners&ownerBit(id) == 0 {
+				return fmt.Errorf("sim: LLC directory for %#x missing owner core %d", addr, id)
+			}
+		}
+		if h.dirty && len(h.cores) > 1 {
+			return fmt.Errorf("sim: line %#x dirty in a private cache with %d sharers", addr, len(h.cores))
+		}
+	}
+	// Partition isolation: nothing in redundancy/diff ways may be in a
+	// private cache.
+	for _, b := range e.Banks {
+		var err error
+		b.ForEach(e.dataWays, b.Ways(), func(l *cache.Line) {
+			if err != nil {
+				return
+			}
+			if _, ok := held[l.Addr]; ok {
+				// A diff-partition entry shares its tag with the data
+				// line it shadows, so private copies of the DATA line
+				// are fine; redundancy lines (checksums/parity) must
+				// never appear above the LLC. Distinguish by whether
+				// the data partition also holds the address.
+				if e.Bank(l.Addr).Lookup(l.Addr, 0, e.dataWays) == nil {
+					err = fmt.Errorf("sim: redundancy line %#x cached in a private cache", l.Addr)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

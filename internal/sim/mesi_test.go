@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"tvarak/internal/param"
+)
+
+// mesiEngine builds a small baseline machine for coherence tests.
+func mesiEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(param.SmallTest(param.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// seq runs steps one at a time (each step is a separate Run so ordering is
+// strict), without draining in between mattering for state checks... note
+// Run drains, so dirty-state checks happen inside a single Run.
+func TestReadSharingThenWriteInvalidates(t *testing.T) {
+	e := mesiEngine(t)
+	addr := e.Geo.NVMBase() + 64*123
+	// Both cores read (share), then core 0 writes: core 1's copy must be
+	// invalidated, and a subsequent core-1 read must see the new value.
+	e.Run([]func(*Core){
+		func(c *Core) {
+			c.Load64(addr)
+			c.Compute(50000) // let core 1 read before the store
+			c.Store64(addr, 99)
+		},
+		func(c *Core) {
+			c.Load64(addr)
+			c.Compute(200000) // wait past core 0's store
+			if got := c.Load64(addr); got != 99 {
+				t.Errorf("core 1 read %d after invalidation, want 99", got)
+			}
+		},
+	})
+	if e.St.UpperInvalidations == 0 {
+		t.Error("no invalidations recorded for write to a shared line")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirtyLineMigratesBetweenCores(t *testing.T) {
+	e := mesiEngine(t)
+	addr := e.Geo.NVMBase() + 64*500
+	e.Run([]func(*Core){
+		func(c *Core) {
+			c.Store64(addr, 7777) // dirty in core 0's L1
+		},
+		func(c *Core) {
+			c.Compute(100000)
+			// Core 1's read must pull the dirty data from core 0 through
+			// the LLC, not stale NVM content.
+			if got := c.Load64(addr); got != 7777 {
+				t.Errorf("core 1 read %d, want 7777 (dirty migration failed)", got)
+			}
+			c.Store64(addr, 8888) // then take ownership and modify
+		},
+	})
+	got := make([]byte, 8)
+	e.NVM.ReadRaw(addr, got)
+	if v := uint64(got[0]) | uint64(got[1])<<8; v != 8888 {
+		t.Errorf("media = %d, want 8888", v)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPingPongWrites(t *testing.T) {
+	e := mesiEngine(t)
+	addr := e.Geo.NVMBase() + 64*900
+	// Two cores alternately increment the same line; with coherent caches
+	// the final value equals the total increment count. The cores
+	// synchronize via a second flag line (spin).
+	const rounds = 50
+	turnAddr := e.Geo.NVMBase() + 64*901
+	e.Run([]func(*Core){
+		func(c *Core) {
+			for i := 0; i < rounds; i++ {
+				for c.Load64(turnAddr) != 0 {
+					c.Compute(200)
+				}
+				c.Store64(addr, c.Load64(addr)+1)
+				c.Store64(turnAddr, 1)
+			}
+		},
+		func(c *Core) {
+			for i := 0; i < rounds; i++ {
+				for c.Load64(turnAddr) != 1 {
+					c.Compute(200)
+				}
+				c.Store64(addr, c.Load64(addr)+1)
+				c.Store64(turnAddr, 0)
+			}
+		},
+	})
+	e.Run([]func(*Core){func(c *Core) {
+		if got := c.Load64(addr); got != 2*rounds {
+			t.Errorf("counter = %d, want %d (lost updates)", got, 2*rounds)
+		}
+	}})
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantsHoldMidRun(t *testing.T) {
+	e := mesiEngine(t)
+	base := e.Geo.NVMBase()
+	// Stress with overlapping working sets from 4 cores, checking
+	// invariants inside the run (before drain).
+	workers := make([]func(*Core), 4)
+	for i := range workers {
+		i := i
+		workers[i] = func(c *Core) {
+			for n := 0; n < 4000; n++ {
+				off := uint64((n*7+i*13)%3000) * 64
+				if (n+i)%3 == 0 {
+					c.Store64(base+off, uint64(n))
+				} else {
+					c.Load64(base + off)
+				}
+				if n == 2000 && i == 0 {
+					if err := e.CheckInvariants(); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}
+	}
+	e.Run(workers)
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExclusiveGrantSilentUpgrade(t *testing.T) {
+	e := mesiEngine(t)
+	addr := e.Geo.NVMBase() + 64*77
+	e.Run([]func(*Core){func(c *Core) {
+		c.Load64(addr) // sole reader → Exclusive grant
+		llcBefore := e.St.Cache[2].Total()
+		c.Store64(addr, 5) // E→M upgrade must not visit the LLC
+		if got := e.St.Cache[2].Total(); got != llcBefore {
+			t.Errorf("store to Exclusive line performed %d LLC accesses", got-llcBefore)
+		}
+	}})
+}
+
+func TestSharedUpgradeVisitsDirectory(t *testing.T) {
+	e := mesiEngine(t)
+	addr := e.Geo.NVMBase() + 64*78
+	e.Run([]func(*Core){
+		func(c *Core) {
+			c.Load64(addr)
+			c.Compute(50000)
+			llcBefore := e.St.Cache[2].Total()
+			c.Store64(addr, 5) // Shared → needs a directory upgrade
+			if got := e.St.Cache[2].Total(); got == llcBefore {
+				t.Error("store to Shared line skipped the directory")
+			}
+		},
+		func(c *Core) {
+			c.Load64(addr) // second sharer forces S state
+		},
+	})
+}

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tvarak/internal/param"
+)
+
+func mkEngine(t *testing.T) *Engine {
+	t.Helper()
+	cfg := param.SmallTest(param.Baseline)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	e := mkEngine(t)
+	addr := e.Geo.NVMBase() + 4096*3 + 40
+	data := []byte("the quick brown fox")
+	e.Run([]func(*Core){func(c *Core) {
+		c.Store(addr, data)
+		got := make([]byte, len(data))
+		c.Load(addr, got)
+		if !bytes.Equal(got, data) {
+			t.Error("load after store mismatch")
+		}
+	}})
+	// After drain, media holds the data.
+	got := make([]byte, len(data))
+	e.NVM.ReadRaw(addr, got)
+	if !bytes.Equal(got, data) {
+		t.Error("drain did not persist the store")
+	}
+}
+
+func TestLoad64Store64(t *testing.T) {
+	e := mkEngine(t)
+	addr := e.Geo.NVMBase() + 8
+	e.Run([]func(*Core){func(c *Core) {
+		c.Store64(addr, 0xdeadbeefcafef00d)
+		if got := c.Load64(addr); got != 0xdeadbeefcafef00d {
+			t.Errorf("Load64 = %#x", got)
+		}
+		c.Store32(addr+16, 0x12345678)
+		if got := c.Load32(addr + 16); got != 0x12345678 {
+			t.Errorf("Load32 = %#x", got)
+		}
+	}})
+}
+
+func TestL1HitLatency(t *testing.T) {
+	e := mkEngine(t)
+	addr := e.Geo.NVMBase()
+	e.Run([]func(*Core){func(c *Core) {
+		var b [8]byte
+		c.Load(addr, b[:]) // miss: fills everything
+		t0 := c.Clock
+		c.Load(addr, b[:]) // L1 hit
+		if c.Clock-t0 != e.Cfg.L1.LatencyCyc {
+			t.Errorf("L1 hit latency = %d, want %d", c.Clock-t0, e.Cfg.L1.LatencyCyc)
+		}
+	}})
+}
+
+func TestMissLatencyIncludesNVM(t *testing.T) {
+	e := mkEngine(t)
+	addr := e.Geo.NVMBase()
+	e.Run([]func(*Core){func(c *Core) {
+		t0 := c.Clock
+		var b [8]byte
+		c.Load(addr, b[:])
+		want := e.Cfg.L1.LatencyCyc + e.Cfg.L2.LatencyCyc + e.Cfg.LLCBank.LatencyCyc + e.Cfg.NVM.ReadCyc
+		if c.Clock-t0 != want {
+			t.Errorf("cold NVM load latency = %d, want %d", c.Clock-t0, want)
+		}
+	}})
+}
+
+func TestStoreLatencyIsL1(t *testing.T) {
+	e := mkEngine(t)
+	addr := e.Geo.NVMBase() + 12288
+	e.Run([]func(*Core){func(c *Core) {
+		t0 := c.Clock
+		var b [8]byte
+		c.Store(addr, b[:]) // cold store: RFO happens but retires via store buffer
+		if c.Clock-t0 != e.Cfg.L1.LatencyCyc {
+			t.Errorf("store latency = %d, want %d", c.Clock-t0, e.Cfg.L1.LatencyCyc)
+		}
+	}})
+	if e.St.NVM.DataReads == 0 {
+		t.Error("cold store performed no RFO fill")
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	e := mkEngine(t)
+	e.Run([]func(*Core){func(c *Core) {
+		t0 := c.Clock
+		c.Compute(1234)
+		if c.Clock-t0 != 1234 {
+			t.Error("Compute did not advance the clock")
+		}
+	}})
+	if e.St.Cycles < 1234 {
+		t.Errorf("runtime %d < compute time", e.St.Cycles)
+	}
+}
+
+// Shadow-memory property test: a random mix of loads and stores over a
+// working set larger than all caches must always read back the last value
+// written, and after drain the NVM media must equal the shadow exactly.
+func TestPropertyShadowMemory(t *testing.T) {
+	e := mkEngine(t)
+	base := e.Geo.NVMBase()
+	const span = 4 << 20 // 4 MB > LLC (1 MB in SmallTest)
+	shadow := make([]byte, span)
+	rng := rand.New(rand.NewSource(42))
+	e.Run([]func(*Core){func(c *Core) {
+		buf := make([]byte, 16)
+		for i := 0; i < 20000; i++ {
+			off := uint64(rng.Intn(span - 64))
+			// Keep within one line to avoid page-hole concerns (raw
+			// physical addressing here, no fs translation).
+			off = off &^ 63
+			n := 1 + rng.Intn(16)
+			if rng.Intn(2) == 0 {
+				for j := 0; j < n; j++ {
+					buf[j] = byte(rng.Int())
+				}
+				c.Store(base+off, buf[:n])
+				copy(shadow[off:], buf[:n])
+			} else {
+				c.Load(base+off, buf[:n])
+				if !bytes.Equal(buf[:n], shadow[off:int(off)+n]) {
+					t.Fatalf("iteration %d: load mismatch at %#x", i, off)
+				}
+			}
+		}
+	}})
+	got := make([]byte, span)
+	e.NVM.ReadRaw(base, got)
+	if !bytes.Equal(got, shadow) {
+		t.Error("media does not match shadow after drain")
+	}
+}
+
+func TestCrossCoreCoherence(t *testing.T) {
+	e := mkEngine(t)
+	addr := e.Geo.NVMBase() + 64*1000
+	// Core 0 writes in run 1; core 1 reads in run 2 (strict ordering via
+	// separate runs, since cores are otherwise unsynchronized).
+	e.Run([]func(*Core){func(c *Core) { c.Store64(addr, 777) }})
+	e.Run([]func(*Core){nil, func(c *Core) {
+		if got := c.Load64(addr); got != 777 {
+			t.Errorf("core 1 read %d, want 777", got)
+		}
+	}})
+	if e.St.UpperInvalidations == 0 {
+		// Core 1's read must have pulled the line from core 0 (downgrade)
+		// or the drain wrote it back — either way the data was correct.
+		t.Log("no invalidations (line was drained); data still correct")
+	}
+}
+
+func TestCrossCoreSameRunCoherence(t *testing.T) {
+	e := mkEngine(t)
+	addr := e.Geo.NVMBase() + 64*2000
+	flag := e.Geo.NVMBase() + 64*3000
+	// Producer sets data then flag; consumer polls flag then reads data.
+	e.Run([]func(*Core){
+		func(c *Core) {
+			c.Store64(addr, 4242)
+			c.Store64(flag, 1)
+		},
+		func(c *Core) {
+			for c.Load64(flag) != 1 {
+				c.Compute(100)
+			}
+			if got := c.Load64(addr); got != 4242 {
+				t.Errorf("consumer read %d, want 4242", got)
+			}
+		},
+	})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		e := mkEngine(t)
+		base := e.Geo.NVMBase()
+		workers := make([]func(*Core), 3)
+		for w := 0; w < 3; w++ {
+			w := w
+			workers[w] = func(c *Core) {
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < 3000; i++ {
+					off := uint64(rng.Intn(1<<20)) &^ 63
+					if rng.Intn(3) == 0 {
+						c.Store64(base+off, uint64(i))
+					} else {
+						c.Load64(base + off)
+					}
+				}
+			}
+		}
+		e.Run(workers)
+		return e.St.Cycles, e.St.NVM.Total()
+	}
+	c1, n1 := run()
+	c2, n2 := run()
+	if c1 != c2 || n1 != n2 {
+		t.Errorf("non-deterministic: run1=(%d,%d) run2=(%d,%d)", c1, n1, c2, n2)
+	}
+}
+
+func TestWritebacksCounted(t *testing.T) {
+	e := mkEngine(t)
+	base := e.Geo.NVMBase()
+	e.Run([]func(*Core){func(c *Core) {
+		// Dirty far more lines than the hierarchy holds.
+		var b [8]byte
+		for i := uint64(0); i < 40000; i++ {
+			c.Store(base+i*64, b[:])
+		}
+	}})
+	if e.St.Writebacks == 0 {
+		t.Fatal("no writebacks counted")
+	}
+	if e.St.NVM.DataWrites != e.St.Writebacks {
+		t.Errorf("NVM data writes %d != writebacks %d (baseline writes only via writeback)",
+			e.St.NVM.DataWrites, e.St.Writebacks)
+	}
+	if e.St.NVM.Redundancy() != 0 {
+		t.Error("baseline design produced redundancy NVM accesses")
+	}
+}
+
+func TestRuntimeIncludesDIMMBusy(t *testing.T) {
+	e := mkEngine(t)
+	base := e.Geo.NVMBase()
+	e.Run([]func(*Core){func(c *Core) {
+		var b [8]byte
+		for i := uint64(0); i < 50000; i++ {
+			c.Store(base+i*64, b[:])
+		}
+	}})
+	if e.St.Cycles < e.NVM.BusyUntil() {
+		t.Errorf("runtime %d < DIMM busy %d", e.St.Cycles, e.NVM.BusyUntil())
+	}
+}
+
+func TestResetMeasurement(t *testing.T) {
+	e := mkEngine(t)
+	base := e.Geo.NVMBase()
+	e.Run([]func(*Core){func(c *Core) { c.Store64(base, 1) }})
+	e.ResetMeasurement()
+	if e.St.Cycles != 0 || e.St.NVM.Total() != 0 {
+		t.Error("stats survive ResetMeasurement")
+	}
+	for _, c := range e.Cores {
+		if c.Clock != 0 {
+			t.Error("core clock survives ResetMeasurement")
+		}
+	}
+	// Warm state: the stored line is still cached, so a load hits L1... but
+	// it was drained (clean). It must at least still be present somewhere.
+	e.Run([]func(*Core){func(c *Core) {
+		if got := c.Load64(base); got != 1 {
+			t.Errorf("content lost across reset: %d", got)
+		}
+	}})
+}
+
+func TestPhaseSchedulerInterleavesFairly(t *testing.T) {
+	cfg := param.SmallTest(param.Baseline)
+	cfg.PhaseCyc = 1000
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two cores compute 100k cycles each; with phase scheduling neither
+	// can finish wildly ahead: final clocks equal.
+	e.Run([]func(*Core){
+		func(c *Core) {
+			for i := 0; i < 100; i++ {
+				c.Compute(1000)
+			}
+		},
+		func(c *Core) {
+			for i := 0; i < 100; i++ {
+				c.Compute(1000)
+			}
+		},
+	})
+	c0, c1 := e.Cores[0].Clock, e.Cores[1].Clock
+	if c0 != c1 {
+		t.Errorf("core clocks diverged: %d vs %d", c0, c1)
+	}
+	if e.St.Cycles < 100000 {
+		t.Errorf("runtime %d < 100000", e.St.Cycles)
+	}
+}

@@ -1,0 +1,180 @@
+// Package stats collects the four metrics the paper reports for every
+// workload (Fig. 8): runtime (cycles), energy (pJ), NVM accesses split into
+// data and redundancy-information accesses, and cache accesses split into
+// L1, L2, LLC and on-TVARAK-controller cache accesses. It also counts the
+// reliability events (corruption detections, parity recoveries) exercised by
+// the fault-injection experiments.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level identifies a cache level for access accounting.
+type Level int
+
+const (
+	L1 Level = iota
+	L2
+	LLC
+	TvarakCache
+	numLevels
+)
+
+// String returns the figure label for the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case LLC:
+		return "LLC"
+	case TvarakCache:
+		return "Tvarak$"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// CacheCounter counts hits and misses at one level.
+type CacheCounter struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Total is hits plus misses.
+func (c CacheCounter) Total() uint64 { return c.Hits + c.Misses }
+
+// NVMCounter splits NVM line accesses the way Fig. 8(c,g,k,o,s) does:
+// application data versus redundancy information (checksums, parity, and
+// old-data reads performed purely to update redundancy).
+type NVMCounter struct {
+	DataReads  uint64
+	DataWrites uint64
+	RedReads   uint64
+	RedWrites  uint64
+}
+
+// Data is all data-line accesses.
+func (n NVMCounter) Data() uint64 { return n.DataReads + n.DataWrites }
+
+// Redundancy is all redundancy-information accesses.
+func (n NVMCounter) Redundancy() uint64 { return n.RedReads + n.RedWrites }
+
+// Total is every NVM line access.
+func (n NVMCounter) Total() uint64 { return n.Data() + n.Redundancy() }
+
+// Stats accumulates all metrics for one simulation run. The simulation
+// engine is single-stepped (one core simulates at a time), so plain fields
+// suffice.
+type Stats struct {
+	// Cycles is the fixed-work runtime: the maximum over core completion
+	// times and DIMM busy times, set by the engine when the run drains.
+	Cycles uint64
+
+	Cache [numLevels]CacheCounter
+	NVM   NVMCounter
+
+	DRAMReads  uint64
+	DRAMWrites uint64
+
+	EnergyPJ float64
+
+	// Reliability events.
+	CorruptionsDetected uint64
+	Recoveries          uint64
+	ECCErrors           uint64
+
+	// Cycle breakdown of core time: compute vs load stalls vs store
+	// issue. LoadStallCyc+StoreIssueCyc+ComputeCyc accounts for every
+	// cycle any core's clock advances.
+	ComputeCycles uint64
+	LoadStallCyc  uint64
+	StoreIssueCyc uint64
+	Loads         uint64
+	Stores        uint64
+
+	// VerifyExtraCyc accumulates fill latency added by checksum
+	// verification (beyond the overlapped data read).
+	VerifyExtraCyc uint64
+
+	// Controller events useful for debugging and ablation analysis.
+	Writebacks         uint64 // LLC→NVM data-line writebacks
+	Fills              uint64 // NVM→LLC data-line fills
+	DiffStashes        uint64 // old-data copies saved into the diff partition
+	DiffEvictions      uint64 // diff-partition evictions forcing early writeback
+	RedInvalidations   uint64 // on-controller cache sharing invalidations
+	UpperInvalidations uint64 // inclusive back-invalidations of L1/L2 lines
+}
+
+// AddCache records one access at a cache level with its energy.
+func (s *Stats) AddCache(l Level, hit bool, pj float64) {
+	if hit {
+		s.Cache[l].Hits++
+	} else {
+		s.Cache[l].Misses++
+	}
+	s.EnergyPJ += pj
+}
+
+// AddNVM records one NVM line access. red marks redundancy-information
+// accesses.
+func (s *Stats) AddNVM(write, red bool, pj float64) {
+	switch {
+	case write && red:
+		s.NVM.RedWrites++
+	case write:
+		s.NVM.DataWrites++
+	case red:
+		s.NVM.RedReads++
+	default:
+		s.NVM.DataReads++
+	}
+	s.EnergyPJ += pj
+}
+
+// AddDRAM records one DRAM line access.
+func (s *Stats) AddDRAM(write bool, pj float64) {
+	if write {
+		s.DRAMWrites++
+	} else {
+		s.DRAMReads++
+	}
+	s.EnergyPJ += pj
+}
+
+// CacheTotal is the total accesses across L1, L2, LLC, and the on-controller
+// cache, the quantity plotted in Fig. 8(d,h,l,p,t).
+func (s *Stats) CacheTotal() uint64 {
+	var t uint64
+	for i := Level(0); i < numLevels; i++ {
+		t += s.Cache[i].Total()
+	}
+	return t
+}
+
+// Reset zeroes all counters; the harness calls it after workload setup so
+// the fixed-work region alone is measured.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Clone returns a copy of the current counters.
+func (s *Stats) Clone() Stats { return *s }
+
+// String renders a compact human-readable summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d energy=%.3gmJ", s.Cycles, s.EnergyPJ/1e9)
+	fmt.Fprintf(&b, " nvm[data r/w=%d/%d red r/w=%d/%d]",
+		s.NVM.DataReads, s.NVM.DataWrites, s.NVM.RedReads, s.NVM.RedWrites)
+	for i := Level(0); i < numLevels; i++ {
+		c := s.Cache[i]
+		if c.Total() > 0 {
+			fmt.Fprintf(&b, " %s=%d(h%d)", i, c.Total(), c.Hits)
+		}
+	}
+	if s.CorruptionsDetected > 0 || s.Recoveries > 0 {
+		fmt.Fprintf(&b, " corruptions=%d recoveries=%d", s.CorruptionsDetected, s.Recoveries)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddCache(t *testing.T) {
+	var s Stats
+	s.AddCache(L1, true, 15)
+	s.AddCache(L1, false, 33)
+	s.AddCache(LLC, true, 240)
+	if s.Cache[L1].Hits != 1 || s.Cache[L1].Misses != 1 {
+		t.Errorf("L1 counter = %+v", s.Cache[L1])
+	}
+	if s.Cache[L1].Total() != 2 {
+		t.Error("Total wrong")
+	}
+	if s.EnergyPJ != 15+33+240 {
+		t.Errorf("energy = %v", s.EnergyPJ)
+	}
+	if s.CacheTotal() != 3 {
+		t.Errorf("CacheTotal = %d, want 3", s.CacheTotal())
+	}
+}
+
+func TestAddNVMClassification(t *testing.T) {
+	var s Stats
+	s.AddNVM(false, false, 1)
+	s.AddNVM(true, false, 1)
+	s.AddNVM(false, true, 1)
+	s.AddNVM(true, true, 1)
+	n := s.NVM
+	if n.DataReads != 1 || n.DataWrites != 1 || n.RedReads != 1 || n.RedWrites != 1 {
+		t.Errorf("NVM = %+v", n)
+	}
+	if n.Data() != 2 || n.Redundancy() != 2 || n.Total() != 4 {
+		t.Error("aggregates wrong")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		var s Stats
+		s.Cycles = a
+		s.AddNVM(true, true, float64(b%1000))
+		s.AddDRAM(false, 1)
+		s.CorruptionsDetected = c
+		s.Reset()
+		return s == Stats{}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	var s Stats
+	s.AddCache(L2, true, 46)
+	cl := s.Clone()
+	s.AddCache(L2, true, 46)
+	if cl.Cache[L2].Hits != 1 {
+		t.Error("clone mutated by original")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	for l, want := range map[Level]string{L1: "L1", L2: "L2", LLC: "LLC", TvarakCache: "Tvarak$"} {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q", int(l), l.String())
+		}
+	}
+}
+
+func TestStringMentionsKeyFields(t *testing.T) {
+	var s Stats
+	s.Cycles = 1234
+	s.AddNVM(false, false, 1600)
+	s.CorruptionsDetected = 2
+	s.Recoveries = 2
+	out := s.String()
+	for _, want := range []string{"cycles=1234", "corruptions=2", "recoveries=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package swred
+
+import (
+	"fmt"
+
+	"tvarak/internal/daxfs"
+	"tvarak/internal/param"
+	"tvarak/internal/sim"
+	"tvarak/internal/xsum"
+)
+
+// RawScheme covers raw DAX mappings (fio, stream) under the TxB software
+// designs: every application write is followed, inline, by the scheme's
+// checksum and parity work over the written range — the transaction
+// boundary of a storage engine that flushes per write. Reads are never
+// verified (Table I).
+type RawScheme struct {
+	design param.Design
+	fs     *daxfs.FS
+	m      *daxfs.DaxMap
+
+	blockBytes  uint64
+	blockCsumDI uint64 // object mode: 4 B per block
+	pageCsumDI  uint64 // page mode: 4 B per page
+	lineSize    uint64
+
+	// Per-core undo-log lanes: Table I's software schemes only cover data
+	// accessed through their transactional interface, so every raw write
+	// pays the transactional envelope (state stores + undo image).
+	laneDI    uint64
+	laneBytes uint64
+	laneOff   []uint64 // per-core cursor within its lane
+}
+
+// AttachRaw allocates checksum tables for mapping m under the given TxB
+// design. blockBytes is the object granularity for TxB-Object-Csums
+// (typically the application's write granularity).
+func AttachRaw(fs *daxfs.FS, m *daxfs.DaxMap, design param.Design, blockBytes uint64) (*RawScheme, error) {
+	if design != param.TxBObjectCsums && design != param.TxBPageCsums {
+		return nil, fmt.Errorf("swred: design %v is not a software scheme", design)
+	}
+	geo := fs.Geometry()
+	r := &RawScheme{design: design, fs: fs, m: m, blockBytes: blockBytes, lineSize: uint64(geo.LineSize)}
+	var entries uint64
+	if design == param.TxBObjectCsums {
+		entries = m.Size() / blockBytes
+	} else {
+		entries = m.Size() / uint64(geo.PageSize)
+	}
+	pages := (entries*xsum.Size + uint64(geo.PageSize) - 1) / uint64(geo.PageSize)
+	di, err := fs.AllocRaw(pages)
+	if err != nil {
+		return nil, err
+	}
+	if design == param.TxBObjectCsums {
+		r.blockCsumDI = di
+	} else {
+		r.pageCsumDI = di
+	}
+	// Undo-log lanes: 8 KB per core.
+	r.laneBytes = 8 << 10
+	cores := 64
+	lanePages := (uint64(cores)*r.laneBytes + uint64(geo.PageSize) - 1) / uint64(geo.PageSize)
+	if r.laneDI, err = fs.AllocRaw(lanePages); err != nil {
+		return nil, err
+	}
+	r.laneOff = make([]uint64, cores)
+	return r, nil
+}
+
+// txEnvelope simulates the transactional wrapper the software schemes
+// require around every write: lane-state stores plus an undo image of the
+// written range appended to the core's log lane.
+func (r *RawScheme) txEnvelope(c *sim.Core, off, n uint64) {
+	geo := r.fs.Geometry()
+	laneBase := uint64(c.ID) * r.laneBytes
+	state := geo.DataIndexAddr(r.laneDI, laneBase)
+	cur := r.laneOff[c.ID]
+	if cur < 64 {
+		cur = 64
+	}
+	if cur+16+n > r.laneBytes {
+		cur = 64
+	}
+	// Keep an entry within one page: the lane is contiguous in data-index
+	// space, not in physical space.
+	ps := uint64(geo.PageSize)
+	if (laneBase+cur)%ps+16+n > ps {
+		cur = (laneBase+cur)/ps*ps + ps - laneBase
+		if cur+16+n > r.laneBytes {
+			cur = 64
+		}
+	}
+	c.Store64(state, 1) // armed
+	old := make([]byte, n)
+	r.m.Load(c, off, old)
+	entry := geo.DataIndexAddr(r.laneDI, laneBase+cur)
+	c.Store64(entry, off)
+	c.Store64(entry+8, n)
+	c.Store(geo.DataIndexAddr(r.laneDI, laneBase+cur+16), old)
+	r.laneOff[c.ID] = cur + 16 + (n+15)&^15
+	c.Store64(state, 0) // committed/idle
+}
+
+// OnWrite updates redundancy for a completed write of [off, off+n) on core
+// c: block- or page-granular checksums plus parity recomputed from stripe
+// siblings.
+func (r *RawScheme) OnWrite(c *sim.Core, off, n uint64) {
+	r.txEnvelope(c, off, n)
+	geo := r.fs.Geometry()
+	switch r.design {
+	case param.TxBObjectCsums:
+		buf := make([]byte, r.blockBytes)
+		for b := off / r.blockBytes; b <= (off+n-1)/r.blockBytes; b++ {
+			r.m.Load(c, b*r.blockBytes, buf)
+			c.Compute(1 + r.blockBytes/8)
+			c.Store32(geo.DataIndexAddr(r.blockCsumDI, b*xsum.Size), xsum.Checksum(buf))
+		}
+	case param.TxBPageCsums:
+		ps := uint64(geo.PageSize)
+		page := make([]byte, ps)
+		for p := off / ps; p <= (off+n-1)/ps; p++ {
+			r.m.Load(c, p*ps, page)
+			c.Compute(1 + ps/8)
+			c.Store32(geo.DataIndexAddr(r.pageCsumDI, p*xsum.Size), xsum.Checksum(page))
+		}
+	}
+	// Parity for every written line, recomputed from siblings.
+	ls := r.lineSize
+	newData := make([]byte, ls)
+	sib := make([]byte, ls)
+	parity := make([]byte, ls)
+	for lo := off &^ (ls - 1); lo < off+n; lo += ls {
+		addr := geo.LineAddr(r.m.Addr(lo))
+		r.m.Load(c, lo, newData)
+		copy(parity, newData)
+		for _, sa := range geo.SiblingLineAddrs(addr) {
+			c.Load(sa, sib)
+			xsum.XORInto(parity, sib)
+		}
+		c.Compute(uint64(geo.DIMMs - 1))
+		c.Store(geo.ParityLineAddr(addr), parity)
+	}
+}

@@ -1,0 +1,187 @@
+// Package swred implements the two software-only redundancy baselines the
+// paper compares against (§IV):
+//
+//   - TxB-Object-Csums (Pangolin-like): object-granular checksums. At each
+//     transaction boundary the library re-reads every modified object,
+//     recomputes its checksum, and stores it in an object checksum table.
+//     Unlike Pangolin it does not copy data between NVM and DRAM, so it
+//     cannot verify reads and — because data is updated in place — it has
+//     lost the old data and must recompute parity from the stripe's other
+//     data lines rather than applying a diff.
+//
+//   - TxB-Page-Csums (Mojim/HotPot-extended): page-granular checksums. At
+//     each transaction boundary the library re-reads every dirtied page in
+//     full to recompute its checksum; parity is likewise recomputed from
+//     sibling lines.
+//
+// Both schemes run as ordinary software on the application core: every
+// byte they touch is a simulated load or store that flows through L1/L2/LLC
+// (they benefit from caching, as the paper observes) and neither verifies
+// application data reads (Table I).
+package swred
+
+import (
+	"fmt"
+
+	"tvarak/internal/daxfs"
+	"tvarak/internal/param"
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+	"tvarak/internal/xsum"
+)
+
+// Scheme is one software redundancy instance attached to one heap.
+type Scheme struct {
+	design param.Design
+	fs     *daxfs.FS
+	m      *daxfs.DaxMap
+
+	// Checksum tables, allocated in NVM and addressed physically.
+	objCsumDI  uint64 // object mode: 4 B per object id
+	maxObjects uint64
+	pageCsumDI uint64 // page mode: 4 B per mapping page
+
+	lineSize int
+}
+
+// Attach allocates the scheme's checksum table for heap h and installs the
+// scheme as h's commit hook. maxObjects bounds the object table (object
+// mode only).
+func Attach(fs *daxfs.FS, h *pmem.Heap, design param.Design, maxObjects uint64) (*Scheme, error) {
+	if design != param.TxBObjectCsums && design != param.TxBPageCsums {
+		return nil, fmt.Errorf("swred: design %v is not a software scheme", design)
+	}
+	geo := fs.Geometry()
+	s := &Scheme{design: design, fs: fs, m: h.Map, maxObjects: maxObjects, lineSize: geo.LineSize}
+	switch design {
+	case param.TxBObjectCsums:
+		pages := (maxObjects*xsum.Size + uint64(geo.PageSize) - 1) / uint64(geo.PageSize)
+		di, err := fs.AllocRaw(pages)
+		if err != nil {
+			return nil, err
+		}
+		s.objCsumDI = di
+	case param.TxBPageCsums:
+		mapPages := h.Map.Size() / uint64(geo.PageSize)
+		pages := (mapPages*xsum.Size + uint64(geo.PageSize) - 1) / uint64(geo.PageSize)
+		di, err := fs.AllocRaw(pages)
+		if err != nil {
+			return nil, err
+		}
+		s.pageCsumDI = di
+	}
+	h.SetCommitHook(s)
+	return s, nil
+}
+
+// objCsumAddr returns the physical address of object id's checksum entry.
+func (s *Scheme) objCsumAddr(id uint64) uint64 {
+	if id >= s.maxObjects {
+		panic(fmt.Sprintf("swred: object id %d beyond table capacity %d", id, s.maxObjects))
+	}
+	return s.fs.Geometry().DataIndexAddr(s.objCsumDI, id*xsum.Size)
+}
+
+// pageCsumAddr returns the physical address of mapping page p's checksum
+// entry.
+func (s *Scheme) pageCsumAddr(p uint64) uint64 {
+	return s.fs.Geometry().DataIndexAddr(s.pageCsumDI, p*xsum.Size)
+}
+
+// OnCommit implements pmem.CommitHook: update checksums and parity for the
+// transaction's modified ranges, in software, on the committing core.
+func (s *Scheme) OnCommit(c *sim.Core, h *pmem.Heap, ranges []pmem.Range) {
+	switch s.design {
+	case param.TxBObjectCsums:
+		s.updateObjectChecksums(c, h, ranges)
+	case param.TxBPageCsums:
+		s.updatePageChecksums(c, ranges)
+	}
+	s.updateParity(c, ranges)
+}
+
+// updateObjectChecksums recomputes the checksum of every modified object by
+// re-reading the whole object.
+func (s *Scheme) updateObjectChecksums(c *sim.Core, h *pmem.Heap, ranges []pmem.Range) {
+	done := map[uint64]bool{}
+	buf := make([]byte, 1024)
+	for _, r := range ranges {
+		if done[r.ObjID] {
+			continue
+		}
+		done[r.ObjID] = true
+		obj, ok := h.Object(r.ObjID)
+		if !ok {
+			continue // object freed within the transaction
+		}
+		crc := uint32(0)
+		hashed := false
+		for off := uint64(0); off < obj.Size; {
+			n := min(uint64(len(buf)), obj.Size-off)
+			s.m.Load(c, obj.Off+off, buf[:n])
+			if !hashed {
+				crc = xsum.Checksum(buf[:n])
+				hashed = true
+			} else {
+				crc ^= xsum.Checksum(buf[:n]) // chunked combine
+			}
+			off += n
+		}
+		c.Compute(1 + obj.Size/s.computeBytesPerCycle())
+		c.Store32(s.objCsumAddr(r.ObjID), crc)
+	}
+}
+
+// updatePageChecksums recomputes the checksum of every page touched by the
+// transaction, reading each page in full.
+func (s *Scheme) updatePageChecksums(c *sim.Core, ranges []pmem.Range) {
+	ps := uint64(s.fs.Geometry().PageSize)
+	done := map[uint64]bool{}
+	page := make([]byte, ps)
+	for _, r := range ranges {
+		first := r.Off / ps
+		last := (r.Off + r.Len - 1) / ps
+		for p := first; p <= last; p++ {
+			if done[p] {
+				continue
+			}
+			done[p] = true
+			s.m.Load(c, p*ps, page)
+			c.Compute(1 + ps/s.computeBytesPerCycle())
+			c.Store32(s.pageCsumAddr(p), xsum.Checksum(page))
+		}
+	}
+}
+
+// updateParity recomputes the parity line for every modified data line:
+// having lost the old data (in-place update), the scheme must read the
+// stripe's sibling lines and XOR them with the new data.
+func (s *Scheme) updateParity(c *sim.Core, ranges []pmem.Range) {
+	geo := s.fs.Geometry()
+	ls := uint64(s.lineSize)
+	done := map[uint64]bool{}
+	newData := make([]byte, ls)
+	sib := make([]byte, ls)
+	parity := make([]byte, ls)
+	for _, r := range ranges {
+		for off := r.Off &^ (ls - 1); off < r.Off+r.Len; off += ls {
+			if done[off] {
+				continue
+			}
+			done[off] = true
+			addr := geo.LineAddr(s.m.Addr(off))
+			s.m.Load(c, off, newData) // cached: just written
+			copy(parity, newData)
+			for _, sa := range geo.SiblingLineAddrs(addr) {
+				c.Load(sa, sib)
+				xsum.XORInto(parity, sib)
+			}
+			c.Compute(uint64(geo.DIMMs - 1))
+			c.Store(geo.ParityLineAddr(addr), parity)
+		}
+	}
+}
+
+// computeBytesPerCycle models software CRC throughput (hardware CRC32
+// instructions process roughly 8 bytes per cycle).
+func (s *Scheme) computeBytesPerCycle() uint64 { return 8 }

@@ -1,0 +1,199 @@
+package swred_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+	"tvarak/internal/sim"
+	"tvarak/internal/swred"
+	"tvarak/internal/xsum"
+)
+
+func TestAttachRejectsHardwareDesigns(t *testing.T) {
+	sys, err := harness.NewSystem(param.SmallTest(param.Baseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.NewHeap("h", 2<<20, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []param.Design{param.Baseline, param.Tvarak} {
+		if _, err := swred.Attach(sys.FS, h, d, 128); err == nil {
+			t.Errorf("Attach accepted design %v", d)
+		}
+	}
+}
+
+// TestObjectChecksumsMatchContent verifies the functional core of
+// TxB-Object-Csums: after a commit, the stored object checksum equals the
+// CRC of the object's content on media.
+func TestObjectChecksumsMatchContent(t *testing.T) {
+	sys, err := harness.NewSystem(param.SmallTest(param.TxBObjectCsums))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.NewHeap("h", 2<<20, 1024) // NewHeap attaches the scheme
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objID uint64
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		var objOff uint64
+		objID, objOff = h.Alloc(c, 128)
+		tx := h.Begin(c)
+		tx.Write(objID, objOff, bytes.Repeat([]byte{0x77}, 128))
+		tx.Commit()
+	}})
+	sys.Eng.DropCaches() // push everything to media
+	obj, _ := h.Object(objID)
+	buf := make([]byte, obj.Size)
+	readMap(sys, "h", obj.Off, buf)
+	want := xsum.Checksum(buf)
+	// The object checksum table is the first region allocated after the
+	// heap file (NewHeap attaches the scheme immediately after MMap).
+	got, ok := findObjCsum(sys, objID, want)
+	if !ok {
+		t.Fatalf("object checksum %#x not found at table slot %d", want, objID)
+	}
+	if got != want {
+		t.Errorf("stored csum %#x, want %#x", got, want)
+	}
+}
+
+// readMap reads file content via raw device access.
+func readMap(sys *harness.System, name string, off uint64, buf []byte) {
+	f, err := sys.FS.Open(name)
+	if err != nil {
+		panic(err)
+	}
+	geo := sys.FS.Geometry()
+	ps := uint64(geo.PageSize)
+	for n := uint64(0); n < uint64(len(buf)); {
+		cur := off + n
+		chunk := min(uint64(len(buf))-n, ps-cur%ps)
+		sys.Eng.NVM.ReadRaw(geo.DataIndexAddr(f.StartDI, cur), buf[n:n+chunk])
+		n += chunk
+	}
+}
+
+// findObjCsum reads slot objID of the object checksum table, which lives in
+// the data pages immediately after the heap file.
+func findObjCsum(sys *harness.System, objID uint64, want uint32) (uint32, bool) {
+	geo := sys.FS.Geometry()
+	f, _ := sys.FS.Open("h")
+	heapEnd := f.StartDI + f.Pages
+	var ent [4]byte
+	addr := geo.DataIndexAddr(heapEnd, objID*xsum.Size)
+	sys.Eng.NVM.ReadRaw(addr, ent[:])
+	got := xsum.Get(ent[:], 0)
+	return got, got == want
+}
+
+// TestSchemesAddInlineWork compares the three designs on identical work:
+// software schemes must be slower than baseline, and page-granular slower
+// than object-granular.
+func TestSchemesAddInlineWork(t *testing.T) {
+	cycles := map[param.Design]uint64{}
+	for _, d := range []param.Design{param.Baseline, param.TxBObjectCsums, param.TxBPageCsums} {
+		sys, err := harness.NewSystem(param.SmallTest(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := sys.NewHeap("h", 4<<20, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids, offs []uint64
+		sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+			for i := 0; i < 512; i++ {
+				id, off := h.Alloc(c, 256)
+				ids = append(ids, id)
+				offs = append(offs, off)
+			}
+		}})
+		sys.Eng.ResetMeasurement()
+		sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+			val := bytes.Repeat([]byte{9}, 256)
+			for i := range ids {
+				tx := h.Begin(c)
+				tx.Write(ids[i], offs[i], val)
+				tx.Commit()
+			}
+		}})
+		cycles[d] = sys.Eng.St.Cycles
+	}
+	if !(cycles[param.Baseline] < cycles[param.TxBObjectCsums]) {
+		t.Errorf("TxB-Object (%d) not slower than baseline (%d)", cycles[param.TxBObjectCsums], cycles[param.Baseline])
+	}
+	if !(cycles[param.TxBObjectCsums] < cycles[param.TxBPageCsums]) {
+		t.Errorf("TxB-Page (%d) not slower than TxB-Object (%d)", cycles[param.TxBPageCsums], cycles[param.TxBObjectCsums])
+	}
+}
+
+// TestParityMaintainedBySoftware checks the software parity invariant at
+// the cache-coherent level: parity line content (read through a core)
+// equals the XOR of the stripe's data lines (read through a core).
+func TestParityMaintainedBySoftware(t *testing.T) {
+	sys, err := harness.NewSystem(param.SmallTest(param.TxBObjectCsums))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.NewHeap("h", 2<<20, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo := sys.FS.Geometry()
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 64)
+		tx := h.Begin(c)
+		tx.Write(id, off, bytes.Repeat([]byte{0xF0}, 64))
+		tx.Commit()
+		addr := geo.LineAddr(h.Map.Addr(off))
+		want := make([]byte, 64)
+		line := make([]byte, 64)
+		c.Load(addr, line)
+		copy(want, line)
+		for _, sa := range geo.SiblingLineAddrs(addr) {
+			c.Load(sa, line)
+			xsum.XORInto(want, line)
+		}
+		got := make([]byte, 64)
+		c.Load(geo.ParityLineAddr(addr), got)
+		if !bytes.Equal(got, want) {
+			t.Error("software parity line does not equal XOR of stripe data lines")
+		}
+	}})
+}
+
+func TestRawSchemeEnvelopeAndChecksums(t *testing.T) {
+	sys, err := harness.NewSystem(param.SmallTest(param.TxBPageCsums))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.NewMapping("raw", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := swred.AttachRaw(sys.FS, m, param.TxBPageCsums, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Eng.ResetMeasurement()
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		buf := bytes.Repeat([]byte{3}, 64)
+		for i := 0; i < 64; i++ {
+			off := uint64(i) * 64
+			m.Store(c, off, buf)
+			raw.OnWrite(c, off, 64)
+		}
+	}})
+	// Page mode re-reads whole pages: expect far more loads than the 64
+	// written lines.
+	if sys.Eng.St.Loads < 64*64 {
+		t.Errorf("page-granular raw scheme did %d loads, want >= %d (whole-page reads)",
+			sys.Eng.St.Loads, 64*64)
+	}
+}

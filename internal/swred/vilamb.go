@@ -1,0 +1,142 @@
+package swred
+
+import (
+	"fmt"
+
+	"tvarak/internal/daxfs"
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+	"tvarak/internal/xsum"
+)
+
+// Vilamb implements the asynchronous software redundancy of Table I's
+// Vilamb row (Kateja et al., the paper's reference [33]): transactions only
+// mark pages dirty (modelling hardware page-table dirty bits, so the
+// foreground cost is negligible), and a daemon running on a dedicated core
+// batches page-checksum and parity updates once per epoch. Batching means a
+// page dirtied many times within an epoch pays for redundancy once — the
+// "configurable overhead" of Table I — at the price of windows of
+// vulnerability in which corruption is silent.
+type Vilamb struct {
+	fs *daxfs.FS
+	m  *daxfs.DaxMap
+
+	pageCsumDI uint64
+	lineSize   uint64
+
+	// EpochCyc is the daemon's sleep between passes.
+	EpochCyc uint64
+
+	dirty map[uint64]bool // mapping page index → dirtied this epoch
+
+	// Epochs and PagesProcessed count daemon activity for tests/reports.
+	Epochs         uint64
+	PagesProcessed uint64
+}
+
+// AttachVilamb allocates Vilamb's page checksum table for heap h and
+// installs its (bookkeeping-only) commit hook.
+func AttachVilamb(fs *daxfs.FS, h *pmem.Heap, epochCyc uint64) (*Vilamb, error) {
+	geo := fs.Geometry()
+	v := &Vilamb{
+		fs:       fs,
+		m:        h.Map,
+		lineSize: uint64(geo.LineSize),
+		EpochCyc: epochCyc,
+		dirty:    make(map[uint64]bool),
+	}
+	mapPages := h.Map.Size() / uint64(geo.PageSize)
+	pages := (mapPages*xsum.Size + uint64(geo.PageSize) - 1) / uint64(geo.PageSize)
+	di, err := fs.AllocRaw(pages)
+	if err != nil {
+		return nil, fmt.Errorf("swred: vilamb checksum table: %w", err)
+	}
+	v.pageCsumDI = di
+	h.SetCommitHook(v)
+	return v, nil
+}
+
+// OnCommit implements pmem.CommitHook: record dirtied pages. This models
+// page-table dirty-bit tracking, which costs the foreground nothing — the
+// whole point of Vilamb's design.
+func (v *Vilamb) OnCommit(c *sim.Core, h *pmem.Heap, ranges []pmem.Range) {
+	ps := uint64(v.fs.Geometry().PageSize)
+	for _, r := range ranges {
+		for p := r.Off / ps; p <= (r.Off+r.Len-1)/ps; p++ {
+			v.dirty[p] = true
+		}
+	}
+}
+
+// MarkDirty records a raw (non-transactional) write, for mappings driven
+// without a heap.
+func (v *Vilamb) MarkDirty(off, n uint64) {
+	ps := uint64(v.fs.Geometry().PageSize)
+	for p := off / ps; p <= (off+n-1)/ps; p++ {
+		v.dirty[p] = true
+	}
+}
+
+// Daemon returns the worker that runs Vilamb's background pass on its own
+// core: every epoch it processes all pages dirtied since the last pass.
+// It exits after a final reconciliation pass once *stop is set (the harness
+// sets it when the application workers finish).
+func (v *Vilamb) Daemon(stop *bool) func(*sim.Core) {
+	return func(c *sim.Core) {
+		const slice = 10000 // interruptible sleep
+		for !*stop {
+			for slept := uint64(0); !*stop && slept < v.EpochCyc; slept += slice {
+				c.Compute(slice)
+			}
+			v.ProcessEpoch(c)
+		}
+		v.ProcessEpoch(c) // reconcile the tail so fixed work is covered
+	}
+}
+
+// ProcessEpoch recomputes page checksums and parity for every dirty page.
+func (v *Vilamb) ProcessEpoch(c *sim.Core) {
+	if len(v.dirty) == 0 {
+		v.Epochs++
+		return
+	}
+	geo := v.fs.Geometry()
+	ps := uint64(geo.PageSize)
+	page := make([]byte, ps)
+	sib := make([]byte, v.lineSize)
+	parity := make([]byte, v.lineSize)
+	// Deterministic order: ascending page index.
+	pages := make([]uint64, 0, len(v.dirty))
+	for p := range v.dirty {
+		pages = append(pages, p)
+	}
+	for i := 1; i < len(pages); i++ { // insertion sort, small sets
+		for j := i; j > 0 && pages[j] < pages[j-1]; j-- {
+			pages[j], pages[j-1] = pages[j-1], pages[j]
+		}
+	}
+	for _, p := range pages {
+		delete(v.dirty, p)
+		v.PagesProcessed++
+		v.m.Load(c, p*ps, page)
+		c.Compute(1 + ps/8)
+		c.Store32(geo.DataIndexAddr(v.pageCsumDI, p*xsum.Size), xsum.Checksum(page))
+		// Parity for every line of the page, recomputed from siblings.
+		for lo := uint64(0); lo < ps; lo += v.lineSize {
+			off := p*ps + lo
+			addr := geo.LineAddr(v.m.Addr(off))
+			copy(parity, page[lo:lo+v.lineSize])
+			for _, sa := range geo.SiblingLineAddrs(addr) {
+				c.Load(sa, sib)
+				xsum.XORInto(parity, sib)
+			}
+			c.Compute(uint64(geo.DIMMs - 1))
+			c.Store(geo.ParityLineAddr(addr), parity)
+		}
+	}
+	v.Epochs++
+}
+
+// DirtyPages reports how many pages await the next epoch (the window of
+// vulnerability, in pages).
+func (v *Vilamb) DirtyPages() int { return len(v.dirty) }

@@ -1,0 +1,178 @@
+package swred_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+	"tvarak/internal/swred"
+)
+
+func vilambFixture(t *testing.T) (*harness.System, *swred.Vilamb, *pmem.Heap) {
+	t.Helper()
+	sys, err := harness.NewSystem(param.SmallTest(param.Vilamb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.NewHeap("h", 2<<20, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Vilambs) != 1 {
+		t.Fatalf("Vilamb scheme not attached (%d)", len(sys.Vilambs))
+	}
+	return sys, sys.Vilambs[0], h
+}
+
+func TestVilambCommitOnlyMarksDirty(t *testing.T) {
+	sys, v, h := vilambFixture(t)
+	var id, off uint64
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off = h.Alloc(c, 256)
+	}})
+	sys.Eng.ResetMeasurement()
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		tx := h.Begin(c)
+		tx.Write(id, off, bytes.Repeat([]byte{1}, 256))
+		tx.Commit()
+	}})
+	if v.DirtyPages() == 0 {
+		t.Error("commit did not mark pages dirty")
+	}
+	if v.PagesProcessed != 0 {
+		t.Error("pages processed without a daemon pass")
+	}
+	// The foreground cost is bookkeeping only: no redundancy stores were
+	// issued inside the transaction (unlike TxB schemes).
+	if loads := sys.Eng.St.Loads; loads > 40 {
+		t.Errorf("foreground did %d loads; Vilamb's hook must be (nearly) free", loads)
+	}
+}
+
+func TestVilambEpochReconcilesChecksumsAndParity(t *testing.T) {
+	sys, v, h := vilambFixture(t)
+	var id, off uint64
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off = h.Alloc(c, 256)
+		tx := h.Begin(c)
+		tx.Write(id, off, bytes.Repeat([]byte{0xAB}, 256))
+		tx.Commit()
+		v.ProcessEpoch(c)
+	}})
+	if v.PagesProcessed == 0 {
+		t.Fatal("epoch processed no pages")
+	}
+	if v.DirtyPages() != 0 {
+		t.Error("dirty pages remain after epoch")
+	}
+	// Parity must now cover the write (verified via fs recovery): corrupt
+	// the page on media and rebuild it from parity.
+	sys.Eng.DropCaches()
+	geo := sys.FS.Geometry()
+	f, _ := sys.FS.Open("h")
+	page := off / uint64(geo.PageSize)
+	addr := geo.DataIndexAddr(f.StartDI+page, 0)
+	sys.Eng.NVM.WriteRaw(addr, bytes.Repeat([]byte{0xFF}, 64))
+	if err := sys.FS.RecoverFilePage(f, page); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	got := make([]byte, 256)
+	sys.Eng.NVM.ReadRaw(geo.DataIndexAddr(f.StartDI, off), got)
+	if !bytes.Equal(got, bytes.Repeat([]byte{0xAB}, 256)) {
+		t.Error("parity recovery after Vilamb epoch returned wrong content")
+	}
+}
+
+func TestVilambBatchingAmortizesRepeatedWrites(t *testing.T) {
+	// Write the same page 100 times within one epoch: the daemon pass must
+	// process the page once, not 100 times.
+	sys, v, h := vilambFixture(t)
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off := h.Alloc(c, 64)
+		for i := 0; i < 100; i++ {
+			tx := h.Begin(c)
+			tx.Write64(id, off, uint64(i))
+			tx.Commit()
+		}
+		v.ProcessEpoch(c)
+	}})
+	if v.PagesProcessed > 3 {
+		t.Errorf("processed %d pages for 100 same-page writes; batching broken", v.PagesProcessed)
+	}
+}
+
+func TestVilambDaemonRunsUnderHarness(t *testing.T) {
+	sys, v, h := vilambFixture(t)
+	var id, off uint64
+	sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		id, off = h.Alloc(c, 256)
+	}})
+	sys.Eng.ResetMeasurement()
+	workers := []func(*sim.Core){func(c *sim.Core) {
+		for i := 0; i < 50; i++ {
+			tx := h.Begin(c)
+			tx.Write(id, off, bytes.Repeat([]byte{byte(i)}, 256))
+			tx.Commit()
+			c.Compute(100000)
+		}
+	}}
+	sys.Eng.Run(sys.WithDaemons(workers))
+	if v.Epochs == 0 {
+		t.Error("daemon never ran an epoch")
+	}
+	if v.DirtyPages() != 0 {
+		t.Error("daemon left dirty pages unreconciled at shutdown")
+	}
+	if v.PagesProcessed == 0 {
+		t.Error("daemon processed nothing")
+	}
+}
+
+func TestVilambCheaperThanTxBPage(t *testing.T) {
+	// Table I: Vilamb's overhead is configurable and, with a reasonable
+	// epoch, far below synchronous page-granular TxB on the same work.
+	run := func(d param.Design) uint64 {
+		sys, err := harness.NewSystem(param.SmallTest(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := sys.NewHeap("h", 4<<20, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids, offs []uint64
+		sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+			for i := 0; i < 256; i++ {
+				id, off := h.Alloc(c, 256)
+				ids = append(ids, id)
+				offs = append(offs, off)
+			}
+		}})
+		sys.Eng.ResetMeasurement()
+		workers := []func(*sim.Core){func(c *sim.Core) {
+			val := bytes.Repeat([]byte{7}, 256)
+			for r := 0; r < 4; r++ {
+				for i := range ids {
+					tx := h.Begin(c)
+					tx.Write(ids[i], offs[i], val)
+					tx.Commit()
+				}
+			}
+		}}
+		sys.Eng.Run(sys.WithDaemons(workers))
+		return sys.Eng.St.Cycles
+	}
+	base := run(param.Baseline)
+	vil := run(param.Vilamb)
+	txb := run(param.TxBPageCsums)
+	t.Logf("baseline=%d vilamb=%d txb-page=%d", base, vil, txb)
+	if vil >= txb {
+		t.Errorf("Vilamb (%d) not cheaper than TxB-Page (%d)", vil, txb)
+	}
+	if vil < base {
+		t.Errorf("Vilamb (%d) cheaper than baseline (%d)?", vil, base)
+	}
+}

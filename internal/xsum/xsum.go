@@ -1,0 +1,65 @@
+// Package xsum implements the system-checksum and parity arithmetic used by
+// the file system, the TVARAK controller, and the software redundancy
+// schemes.
+//
+// System-checksums are CRC-32C (Castagnoli). The paper's DAX-CL-checksums
+// are cache-line-granular checksums maintained only while data is
+// DAX-mapped; a 64 B checksum line packs sixteen 4 B checksums and therefore
+// covers 1 KB of data (6.25% space overhead, paid only for mapped data).
+// Page-granular system-checksums cover 4 KB. Cross-DIMM parity is bytewise
+// XOR across the non-parity pages of a stripe.
+package xsum
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Size is the size in bytes of one stored checksum.
+const Size = 4
+
+// PerLine is how many checksums pack into one 64 B checksum line.
+const PerLine = 64 / Size
+
+// Checksum returns the CRC-32C of data. It is used for both line-granular
+// (64 B) and page-granular (4 KB) system-checksums.
+func Checksum(data []byte) uint32 {
+	return crc32.Checksum(data, castagnoli)
+}
+
+// Put stores checksum c at slot idx of a packed checksum buffer (typically
+// a 64 B checksum line holding PerLine entries).
+func Put(buf []byte, idx int, c uint32) {
+	binary.LittleEndian.PutUint32(buf[idx*Size:], c)
+}
+
+// Get loads the checksum at slot idx of a packed checksum buffer.
+func Get(buf []byte, idx int) uint32 {
+	return binary.LittleEndian.Uint32(buf[idx*Size:])
+}
+
+// XORInto accumulates src into dst bytewise: dst ^= src. It panics if the
+// slices differ in length, since parity lines and data lines are always the
+// same size.
+func XORInto(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("xsum: XORInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// ParityDelta applies an incremental parity update for an in-place data
+// write: parity ^= old ^ new. This is the data-diff optimization at the
+// heart of TVARAK's writeback path.
+func ParityDelta(parity, oldData, newData []byte) {
+	if len(parity) != len(oldData) || len(parity) != len(newData) {
+		panic("xsum: ParityDelta length mismatch")
+	}
+	for i := range parity {
+		parity[i] ^= oldData[i] ^ newData[i]
+	}
+}

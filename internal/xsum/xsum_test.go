@@ -1,0 +1,109 @@
+package xsum
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumDiffers(t *testing.T) {
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	b[13] = 1
+	if Checksum(a) == Checksum(b) {
+		t.Error("checksums of differing lines collide on a single-byte change")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	line := make([]byte, 64)
+	f := func(idx uint8, c uint32) bool {
+		i := int(idx) % PerLine
+		Put(line, i, c)
+		return Get(line, i) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPutSlotsAreIndependent(t *testing.T) {
+	line := make([]byte, 64)
+	for i := 0; i < PerLine; i++ {
+		Put(line, i, uint32(i)*0x01010101+7)
+	}
+	for i := 0; i < PerLine; i++ {
+		if got := Get(line, i); got != uint32(i)*0x01010101+7 {
+			t.Errorf("slot %d = %#x, want %#x", i, got, uint32(i)*0x01010101+7)
+		}
+	}
+}
+
+func TestXORIntoSelfInverse(t *testing.T) {
+	f := func(a, b [64]byte) bool {
+		dst := append([]byte(nil), a[:]...)
+		XORInto(dst, b[:])
+		XORInto(dst, b[:])
+		return bytes.Equal(dst, a[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityDeltaEquivalentToRecompute(t *testing.T) {
+	// Incremental update (parity ^= old ^ new) must equal recomputing
+	// parity from scratch with new substituted for old — the property that
+	// makes TVARAK's data-diff writeback path correct.
+	f := func(old, new1, sib1, sib2 [64]byte) bool {
+		// parity over {old, sib1, sib2}
+		parity := make([]byte, 64)
+		XORInto(parity, old[:])
+		XORInto(parity, sib1[:])
+		XORInto(parity, sib2[:])
+		ParityDelta(parity, old[:], new1[:])
+		want := make([]byte, 64)
+		XORInto(want, new1[:])
+		XORInto(want, sib1[:])
+		XORInto(want, sib2[:])
+		return bytes.Equal(parity, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityRecovery(t *testing.T) {
+	// A lost member is reconstructible as parity XOR remaining members.
+	f := func(a, b, c [64]byte) bool {
+		parity := make([]byte, 64)
+		for _, m := range [][64]byte{a, b, c} {
+			XORInto(parity, m[:])
+		}
+		rec := append([]byte(nil), parity...)
+		XORInto(rec, b[:])
+		XORInto(rec, c[:])
+		return bytes.Equal(rec, a[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("XORInto with mismatched lengths did not panic")
+		}
+	}()
+	XORInto(make([]byte, 64), make([]byte, 32))
+}
+
+func TestParityDeltaLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ParityDelta with mismatched lengths did not panic")
+		}
+	}()
+	ParityDelta(make([]byte, 64), make([]byte, 64), make([]byte, 32))
+}

@@ -1,0 +1,119 @@
+// Package ycsb provides deterministic YCSB-style key generators: uniform,
+// zipfian (Gray et al.'s rejection-free generator, as used by the YCSB
+// framework), and the explicit hot-set skew the paper uses for N-Store
+// ("90% of transactions go to 10% of tuples").
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Generator yields keys in [0, n).
+type Generator interface {
+	Next() uint64
+}
+
+// Uniform draws keys uniformly.
+type Uniform struct {
+	n   uint64
+	rng *rand.Rand
+}
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(n uint64, seed int64) *Uniform {
+	return &Uniform{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next key.
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }
+
+// Zipfian draws keys with a zipfian distribution (theta ≈ 0.99 by YCSB
+// convention), scattering ranks so hot keys are not clustered.
+type Zipfian struct {
+	n                 uint64
+	theta, zetan      float64
+	alpha, eta, zeta2 float64
+	rng               *rand.Rand
+}
+
+// NewZipfian returns a zipfian generator over [0, n).
+func NewZipfian(n uint64, theta float64, seed int64) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next key (rank scattered by a multiplicative hash).
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	// Scatter so that popular keys spread over the keyspace.
+	return (rank * 0x9e3779b97f4a7c15) % z.n
+}
+
+// HotSet sends hotFrac of the draws to the first hotKeys keys (uniformly)
+// and the rest to the remainder — the paper's "90% of transactions go to
+// 10% of tuples" skew with hotFrac=0.9 and hotKeys=n/10.
+type HotSet struct {
+	n, hotKeys uint64
+	hotFrac    float64
+	rng        *rand.Rand
+}
+
+// NewHotSet returns a hot-set generator over [0, n).
+func NewHotSet(n uint64, hotKeys uint64, hotFrac float64, seed int64) *HotSet {
+	if hotKeys == 0 {
+		hotKeys = 1
+	}
+	return &HotSet{n: n, hotKeys: hotKeys, hotFrac: hotFrac, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next key.
+func (h *HotSet) Next() uint64 {
+	if h.rng.Float64() < h.hotFrac {
+		return uint64(h.rng.Int63n(int64(h.hotKeys)))
+	}
+	if h.n == h.hotKeys {
+		return uint64(h.rng.Int63n(int64(h.n)))
+	}
+	return h.hotKeys + uint64(h.rng.Int63n(int64(h.n-h.hotKeys)))
+}
+
+// Mix decides per-operation whether it is an update (true) given an
+// update:read ratio like 50:50 or 90:10.
+type Mix struct {
+	updatePct int
+	rng       *rand.Rand
+}
+
+// NewMix returns a mix with the given update percentage.
+func NewMix(updatePct int, seed int64) *Mix {
+	return &Mix{updatePct: updatePct, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Update reports whether the next operation should be an update.
+func (m *Mix) Update() bool { return m.rng.Intn(100) < m.updatePct }

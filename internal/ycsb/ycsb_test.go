@@ -1,0 +1,113 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformBoundsAndSpread(t *testing.T) {
+	u := NewUniform(100, 1)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		k := u.Next()
+		if k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	for k, n := range counts {
+		if n < 700 || n > 1300 {
+			t.Errorf("key %d drawn %d times, want ~1000", k, n)
+		}
+	}
+}
+
+func TestZipfianSkewAndBounds(t *testing.T) {
+	const n = 10000
+	z := NewZipfian(n, 0.99, 1)
+	counts := make(map[uint64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Zipfian: a small fraction of keys receives most draws.
+	var hot int
+	for _, c := range counts {
+		if c > draws/n*10 { // >10x the uniform share
+			hot += c
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.3 {
+		t.Errorf("hot keys got %.2f of draws, want skew > 0.3", frac)
+	}
+	// Distinct keys drawn should be far fewer than n would get uniformly.
+	if len(counts) > n*9/10 {
+		t.Errorf("%d distinct keys of %d — no skew visible", len(counts), n)
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a := NewZipfian(1000, 0.99, 42)
+	b := NewZipfian(1000, 0.99, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestHotSetNinetyTen(t *testing.T) {
+	const n = 10000
+	h := NewHotSet(n, n/10, 0.9, 7)
+	hot := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		k := h.Next()
+		if k >= n {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k < n/10 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Errorf("hot fraction = %.3f, want 0.9 (the paper's 90%%-to-10%% skew)", frac)
+	}
+}
+
+func TestHotSetDegenerate(t *testing.T) {
+	h := NewHotSet(10, 0, 1.0, 1) // hotKeys clamped to 1
+	for i := 0; i < 100; i++ {
+		if k := h.Next(); k != 0 {
+			t.Fatalf("all-hot generator returned %d", k)
+		}
+	}
+	all := NewHotSet(8, 8, 0.0, 1) // cold draws over hot==n
+	for i := 0; i < 100; i++ {
+		if k := all.Next(); k >= 8 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestMixRatio(t *testing.T) {
+	for _, pct := range []int{0, 10, 50, 90, 100} {
+		m := NewMix(pct, 3)
+		updates := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if m.Update() {
+				updates++
+			}
+		}
+		got := float64(updates) / draws * 100
+		if math.Abs(got-float64(pct)) > 1.5 {
+			t.Errorf("mix %d%%: measured %.1f%%", pct, got)
+		}
+	}
+}

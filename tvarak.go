@@ -1,0 +1,135 @@
+// Package tvarak is the public API of the TVARAK reproduction: a
+// simulated DAX-NVM storage stack (cores, caches, NVM DIMMs, DAX file
+// system, persistent heap) with the paper's hardware redundancy controller
+// and its software-only baselines, plus the harness that regenerates every
+// table and figure of the ISCA 2020 evaluation.
+//
+// Quick start:
+//
+//	cfg := tvarak.ReproScaleConfig(tvarak.DesignTvarak)
+//	m, err := tvarak.NewMachine(cfg)
+//	...
+//	dm, err := m.NewMapping("data", 1<<20)
+//	m.Engine().Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+//		dm.Store(c, 0, []byte("hello"))
+//	}})
+//
+// See examples/ for runnable programs and cmd/tvarak-sim for the
+// experiment CLI.
+package tvarak
+
+import (
+	"tvarak/internal/core"
+	"tvarak/internal/daxfs"
+	"tvarak/internal/experiments"
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+	"tvarak/internal/pmem"
+	"tvarak/internal/sim"
+	"tvarak/internal/stats"
+)
+
+// Re-exported core types. The internal packages carry the implementation;
+// these aliases are the supported public surface.
+type (
+	// Config is the full machine configuration (Table III parameters).
+	Config = param.Config
+	// Design selects the redundancy scheme.
+	Design = param.Design
+	// Features toggles TVARAK's three design elements (Fig. 9).
+	Features = param.TvarakFeatures
+	// Core is a simulated CPU; workload code runs against it.
+	Core = sim.Core
+	// Engine is the simulation engine.
+	Engine = sim.Engine
+	// Controller is the TVARAK hardware controller.
+	Controller = core.Controller
+	// FS is the DAX file system.
+	FS = daxfs.FS
+	// DaxMap is a direct-access mapping.
+	DaxMap = daxfs.DaxMap
+	// Heap is a persistent object heap with undo-log transactions.
+	Heap = pmem.Heap
+	// Tx is one transaction.
+	Tx = pmem.Tx
+	// Stats holds the run's metrics (runtime, energy, NVM/cache accesses).
+	Stats = stats.Stats
+	// Workload is a runnable benchmark workload.
+	Workload = harness.Workload
+	// Result is one (workload, design) outcome.
+	Result = harness.Result
+	// ResultTable renders paper-style comparisons.
+	ResultTable = harness.Table
+	// Experiment regenerates one of the paper's tables or figures.
+	Experiment = experiments.Experiment
+	// ExperimentOptions tunes experiment scale and design selection.
+	ExperimentOptions = experiments.Options
+)
+
+// Design constants.
+const (
+	DesignBaseline       = param.Baseline
+	DesignTvarak         = param.Tvarak
+	DesignTxBObjectCsums = param.TxBObjectCsums
+	DesignTxBPageCsums   = param.TxBPageCsums
+)
+
+// DefaultConfig returns the paper's Table III machine.
+func DefaultConfig(d Design) *Config { return param.Default(d) }
+
+// ReproScaleConfig returns the 1/16-scale reproduction machine the default
+// experiments use (see EXPERIMENTS.md).
+func ReproScaleConfig(d Design) *Config { return param.ReproScale(d) }
+
+// Machine is a fully assembled simulated system.
+type Machine struct {
+	sys *harness.System
+}
+
+// NewMachine builds the machine described by cfg, including the TVARAK
+// controller when cfg.Design is DesignTvarak.
+func NewMachine(cfg *Config) (*Machine, error) {
+	sys, err := harness.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{sys: sys}, nil
+}
+
+// Engine returns the simulation engine (cores, Run, stats).
+func (m *Machine) Engine() *Engine { return m.sys.Eng }
+
+// FS returns the DAX file system.
+func (m *Machine) FS() *FS { return m.sys.FS }
+
+// Controller returns the TVARAK controller, or nil for other designs.
+func (m *Machine) Controller() *Controller { return m.sys.Ctrl }
+
+// Stats returns the live statistics.
+func (m *Machine) Stats() *Stats { return m.sys.Eng.St }
+
+// NewMapping creates and DAX-maps a file.
+func (m *Machine) NewMapping(name string, size uint64) (*DaxMap, error) {
+	return m.sys.NewMapping(name, size)
+}
+
+// NewHeap creates a mapped file with a persistent heap on it, attaching the
+// software redundancy scheme under TxB designs.
+func (m *Machine) NewHeap(name string, size, maxObjects uint64) (*Heap, error) {
+	return m.sys.NewHeap(name, size, maxObjects)
+}
+
+// System exposes the underlying harness system for advanced use.
+func (m *Machine) System() *harness.System { return m.sys }
+
+// RunWorkload executes one workload under the fixed-work methodology and
+// returns its metrics.
+func RunWorkload(cfg *Config, w Workload) (*Result, error) {
+	return harness.Run(cfg, w)
+}
+
+// Experiments lists the registry reproducing every table and figure.
+func Experiments() []Experiment { return experiments.Experiments() }
+
+// LookupExperiment finds an experiment by id (e.g. "fig8-redis").
+func LookupExperiment(id string) (Experiment, error) { return experiments.Lookup(id) }

@@ -1,0 +1,84 @@
+package tvarak_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tvarak"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	cfg := tvarak.ReproScaleConfig(tvarak.DesignTvarak)
+	m, err := tvarak.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Controller() == nil {
+		t.Fatal("Tvarak machine has no controller")
+	}
+	dm, err := m.NewMapping("api", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("public api round trip")
+	m.Engine().Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		dm.Store(c, 128, data)
+		got := make([]byte, len(data))
+		dm.Load(c, 128, got)
+		if !bytes.Equal(got, data) {
+			t.Error("round trip failed")
+		}
+	}})
+	if m.Stats().NVM.Total() == 0 {
+		t.Error("no NVM traffic recorded")
+	}
+	if bad := m.FS().Scrub(); len(bad) != 0 {
+		t.Errorf("scrub found %v", bad)
+	}
+}
+
+func TestPublicAPIHeapAndTx(t *testing.T) {
+	m, err := tvarak.NewMachine(tvarak.ReproScaleConfig(tvarak.DesignTxBObjectCsums))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.NewHeap("heap", 4<<20, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Engine().Run([]func(*tvarak.Core){func(c *tvarak.Core) {
+		id, off := h.Alloc(c, 64)
+		tx := h.Begin(c)
+		tx.Write64(id, off, 12345)
+		tx.Commit()
+		if got := h.Map.Load64(c, off); got != 12345 {
+			t.Errorf("tx write lost: %d", got)
+		}
+	}})
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(tvarak.Experiments()) < 11 {
+		t.Errorf("only %d experiments exposed", len(tvarak.Experiments()))
+	}
+	if _, err := tvarak.LookupExperiment("fig8-redis"); err != nil {
+		t.Error(err)
+	}
+	if _, err := tvarak.LookupExperiment("nope"); err == nil {
+		t.Error("bogus experiment id accepted")
+	}
+}
+
+func TestDesignConstants(t *testing.T) {
+	names := map[tvarak.Design]string{
+		tvarak.DesignBaseline:       "Baseline",
+		tvarak.DesignTvarak:         "Tvarak",
+		tvarak.DesignTxBObjectCsums: "TxB-Object-Csums",
+		tvarak.DesignTxBPageCsums:   "TxB-Page-Csums",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(d), d.String(), want)
+		}
+	}
+}
