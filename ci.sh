@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# ci.sh — tier-1 verification plus the parallel-harness race gate.
+#
+#   ./ci.sh         # format check, vet, build, tests, race tests
+#
+# The race run covers internal/harness and internal/experiments: the
+# parallel experiment runner executes cells on concurrent workers, and the
+# race detector proves cells share no state (each cell builds its own
+# System; see DESIGN.md "Harness and tooling").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (parallel harness gate) =="
+go test -race ./internal/harness/ ./internal/experiments/ .
+
+echo "ci.sh: all checks passed"

@@ -7,7 +7,12 @@
 //	tvarak-sim -list
 //	tvarak-sim -exp fig8-redis
 //	tvarak-sim -exp all -scale 0.25
+//	tvarak-sim -exp all -parallel 8 -progress
 //	tvarak-sim -exp table1
+//
+// Experiments run their independent simulation cells on a bounded worker
+// pool (-parallel, default one per CPU); tables come out in the same order
+// and byte-identical regardless of the parallelism level.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,12 +31,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (or 'all'); see -list")
-		list    = flag.Bool("list", false, "list experiment ids")
-		scale   = flag.Float64("scale", 1.0, "multiply measured operation counts")
-		full    = flag.Bool("full", false, "use the paper's full-scale machine (24 MB LLC) instead of the 1/16-scale reproduction machine")
-		designs = flag.String("designs", "", "comma-separated subset of designs (baseline,tvarak,txb-object,txb-page,vilamb)")
-		jsonOut = flag.Bool("json", false, "emit one JSON object per run instead of tables")
+		exp      = flag.String("exp", "", "experiment id (or 'all'); see -list")
+		list     = flag.Bool("list", false, "list experiment ids")
+		scale    = flag.Float64("scale", 1.0, "multiply measured operation counts")
+		full     = flag.Bool("full", false, "use the paper's full-scale machine (24 MB LLC) instead of the 1/16-scale reproduction machine")
+		designs  = flag.String("designs", "", "comma-separated subset of designs (baseline,tvarak,txb-object,txb-page,vilamb)")
+		jsonOut  = flag.Bool("json", false, "emit one JSON object per run instead of tables")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulation cells running concurrently (1 = sequential; tables are identical at any level)")
+		progress = flag.Bool("progress", false, "print per-cell completion and timing to stderr as cells finish")
 	)
 	flag.Parse()
 
@@ -50,7 +58,13 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, FullScale: *full, Designs: parseDesigns(*designs)}
+	opts := experiments.Options{Scale: *scale, FullScale: *full, Designs: parseDesigns(*designs), Parallel: *parallel}
+	if *progress {
+		opts.Progress = func(done, total int, r *tvarak.Result, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-20s %-28s %8v\n",
+				done, total, r.Workload, r.Label(), elapsed.Round(time.Millisecond))
+		}
+	}
 	var ids []string
 	if *exp == "all" {
 		for _, e := range tvarak.Experiments() {

@@ -2,6 +2,10 @@
 // reserved for caching redundancy information affects TVARAK's overhead for
 // the fio random-write workload (the paper's most partition-sensitive
 // synthetic workload).
+//
+// The sweep points are independent simulation cells, so they run
+// concurrently through tvarak.RunCells; results come back in sweep order
+// regardless of which cell finishes first.
 package main
 
 import (
@@ -19,20 +23,26 @@ func main() {
 		cfg.AccessBytes = 1 << 20 // quick demo scale
 		return fio.New(cfg)
 	}
-	base, err := tvarak.RunWorkload(tvarak.ReproScaleConfig(param.Baseline), mk())
+	ways := []int{1, 2, 4, 6, 8}
+	cells := []tvarak.Cell{{Config: tvarak.ReproScaleConfig(param.Baseline), Make: mk}}
+	for _, w := range ways {
+		cfg := tvarak.ReproScaleConfig(param.Tvarak)
+		cfg.Tvarak.RedundancyWays = w
+		cells = append(cells, tvarak.Cell{
+			Config:  cfg,
+			Make:    mk,
+			Variant: fmt.Sprintf("%d-way", w),
+		})
+	}
+	rs, err := tvarak.RunCells(cells, 0) // 0 = one worker per CPU
 	if err != nil {
 		log.Fatal(err)
 	}
+	base := rs[0]
 	fmt.Printf("baseline: %d cycles\n", base.Stats.Cycles)
-	for _, ways := range []int{1, 2, 4, 6, 8} {
-		cfg := tvarak.ReproScaleConfig(param.Tvarak)
-		cfg.Tvarak.RedundancyWays = ways
-		r, err := tvarak.RunWorkload(cfg, mk())
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, r := range rs[1:] {
 		fmt.Printf("tvarak %d redundancy ways: %d cycles (%+.1f%% vs baseline, red NVM %d)\n",
-			ways, r.Stats.Cycles,
+			ways[i], r.Stats.Cycles,
 			100*(float64(r.Stats.Cycles)/float64(base.Stats.Cycles)-1),
 			r.Stats.NVM.Redundancy())
 	}

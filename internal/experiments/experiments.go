@@ -1,6 +1,12 @@
 // Package experiments is the registry that maps every table and figure of
 // the paper's evaluation to a runnable experiment over the harness and the
 // seven applications (see DESIGN.md §3 for the index).
+//
+// Every experiment enumerates its independent (workload × design × variant)
+// cells declaratively and hands them to one shared harness.Runner, which
+// executes them across a bounded worker pool and reassembles the table in
+// enumeration order — so the rendered tables are byte-identical at any
+// parallelism level.
 package experiments
 
 import (
@@ -24,8 +30,14 @@ type Options struct {
 	FullScale bool
 	// Scale multiplies measured operation counts (1.0 = default).
 	Scale float64
-	// Designs restricts which designs run (nil = all four).
+	// Designs restricts which designs run (nil = all four). Experiments
+	// never mutate this slice.
 	Designs []param.Design
+	// Parallel bounds how many cells simulate concurrently: 0 means one
+	// per CPU, 1 means sequential. Results are identical at any level.
+	Parallel int
+	// Progress, if non-nil, is called after each cell completes.
+	Progress harness.Progress
 }
 
 func (o Options) designs() []param.Design {
@@ -52,6 +64,25 @@ func (o Options) scale(n int) int {
 	return 1
 }
 
+// scaleBytes applies Scale to a byte count in uint64 throughout, avoiding
+// the uint64→int round-trip that silently truncates large footprints on
+// 32-bit builds.
+func (o Options) scaleBytes(n uint64) uint64 {
+	if o.Scale <= 0 {
+		return n
+	}
+	if s := uint64(float64(n) * o.Scale); s > 0 {
+		return s
+	}
+	return 1
+}
+
+// run executes the cells on the options' runner and collects the table.
+func (o Options) run(title string, cells []harness.Cell) (*harness.Table, error) {
+	rn := harness.Runner{Workers: o.Parallel, Progress: o.Progress}
+	return rn.RunTable(title, cells)
+}
+
 // Experiment regenerates one table or figure of the paper.
 type Experiment struct {
 	ID    string
@@ -59,21 +90,59 @@ type Experiment struct {
 	Run   func(o Options) (*harness.Table, error)
 }
 
+// Cells enumerates the experiment's independent simulation cells without
+// running them, for callers that schedule cells themselves. It returns nil
+// for ids outside the registry.
+func (e Experiment) Cells(o Options) []harness.Cell {
+	if b := cellBuilders[e.ID]; b != nil {
+		return b(o)
+	}
+	return nil
+}
+
+// cellBuilders maps experiment ids to their cell enumerators. runFromCells
+// wires each entry into the registry's Run functions.
+var cellBuilders = map[string]func(Options) []harness.Cell{
+	"fig8-redis":  fig8RedisCells,
+	"fig8-kv":     fig8KVCells,
+	"fig8-nstore": fig8NStoreCells,
+	"fig8-fio":    fig8FioCells,
+	"fig8-stream": fig8StreamCells,
+	"fig9":        fig9Cells,
+	"fig10a": func(o Options) []harness.Cell {
+		return waySweepCells(o, func(cfg *param.Config, ways int) { cfg.Tvarak.RedundancyWays = ways })
+	},
+	"fig10b": func(o Options) []harness.Cell {
+		return waySweepCells(o, func(cfg *param.Config, ways int) { cfg.Tvarak.DiffWays = ways })
+	},
+	"sec4g":       sec4GCells,
+	"sec4h-dimms": sec4HDimmsCells,
+	"sec4h-tech":  sec4HTechCells,
+	"ext-vilamb":  extVilambCells,
+}
+
+// runFromCells builds an Experiment.Run function over a cell enumerator.
+func runFromCells(title string, id string) func(Options) (*harness.Table, error) {
+	return func(o Options) (*harness.Table, error) {
+		return o.run(title, cellBuilders[id](o))
+	}
+}
+
 // Experiments returns the full registry, in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{ID: "fig8-redis", Paper: "Fig. 8(a)-(d): Redis set-only and get-only", Run: runFig8Redis},
-		{ID: "fig8-kv", Paper: "Fig. 8(e)-(h): C-Tree/B-Tree/RB-Tree insert-only and balanced", Run: runFig8KV},
-		{ID: "fig8-nstore", Paper: "Fig. 8(i)-(l): N-Store YCSB read-heavy/balanced/update-heavy", Run: runFig8NStore},
-		{ID: "fig8-fio", Paper: "Fig. 8(m)-(p): fio seq/rand reads and writes", Run: runFig8Fio},
-		{ID: "fig8-stream", Paper: "Fig. 8(q)-(t): stream copy/scale/add/triad", Run: runFig8Stream},
-		{ID: "fig9", Paper: "Fig. 9: impact of TVARAK's design choices", Run: runFig9},
-		{ID: "fig10a", Paper: "Fig. 10(a): sensitivity to redundancy-caching LLC ways", Run: runFig10a},
-		{ID: "fig10b", Paper: "Fig. 10(b): sensitivity to data-diff LLC ways", Run: runFig10b},
-		{ID: "sec4g", Paper: "§IV-G: exclusive caches (TVARAK without LLC data diffs)", Run: runSec4G},
-		{ID: "sec4h-dimms", Paper: "§IV-H: 4 vs 8 NVM DIMMs", Run: runSec4HDimms},
-		{ID: "sec4h-tech", Paper: "§IV-H: Optane-like vs battery-backed-DRAM NVM", Run: runSec4HTech},
-		{ID: "ext-vilamb", Paper: "extension: Table I's Vilamb row (asynchronous epochs) vs the paper's designs", Run: runExtVilamb},
+		{ID: "fig8-redis", Paper: "Fig. 8(a)-(d): Redis set-only and get-only", Run: runFromCells("Fig. 8(a)-(d) Redis", "fig8-redis")},
+		{ID: "fig8-kv", Paper: "Fig. 8(e)-(h): C-Tree/B-Tree/RB-Tree insert-only and balanced", Run: runFromCells("Fig. 8(e)-(h) key-value structures", "fig8-kv")},
+		{ID: "fig8-nstore", Paper: "Fig. 8(i)-(l): N-Store YCSB read-heavy/balanced/update-heavy", Run: runFromCells("Fig. 8(i)-(l) N-Store", "fig8-nstore")},
+		{ID: "fig8-fio", Paper: "Fig. 8(m)-(p): fio seq/rand reads and writes", Run: runFromCells("Fig. 8(m)-(p) fio", "fig8-fio")},
+		{ID: "fig8-stream", Paper: "Fig. 8(q)-(t): stream copy/scale/add/triad", Run: runFromCells("Fig. 8(q)-(t) stream", "fig8-stream")},
+		{ID: "fig9", Paper: "Fig. 9: impact of TVARAK's design choices", Run: runFromCells("Fig. 9 design-choice ablation (vs Baseline)", "fig9")},
+		{ID: "fig10a", Paper: "Fig. 10(a): sensitivity to redundancy-caching LLC ways", Run: runFromCells("Fig. 10(a) redundancy-caching way sensitivity", "fig10a")},
+		{ID: "fig10b", Paper: "Fig. 10(b): sensitivity to data-diff LLC ways", Run: runFromCells("Fig. 10(b) data-diff way sensitivity", "fig10b")},
+		{ID: "sec4g", Paper: "§IV-G: exclusive caches (TVARAK without LLC data diffs)", Run: runFromCells("§IV-G exclusive-cache TVARAK (no LLC data diffs)", "sec4g")},
+		{ID: "sec4h-dimms", Paper: "§IV-H: 4 vs 8 NVM DIMMs", Run: runFromCells("§IV-H NVM DIMM count (stream triad)", "sec4h-dimms")},
+		{ID: "sec4h-tech", Paper: "§IV-H: Optane-like vs battery-backed-DRAM NVM", Run: runFromCells("§IV-H NVM technology (stream triad)", "sec4h-tech")},
+		{ID: "ext-vilamb", Paper: "extension: Table I's Vilamb row (asynchronous epochs) vs the paper's designs", Run: runFromCells("extension: Vilamb (asynchronous epochs) vs evaluated designs", "ext-vilamb")},
 	}
 }
 
@@ -91,39 +160,33 @@ func Lookup(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
 }
 
-// runSet executes a set of workloads across designs into one table.
-func runSet(o Options, title string, mk []func() harness.Workload) (*harness.Table, error) {
-	t := &harness.Table{Title: title}
+// designCells is the Fig. 8 shape: every workload under every design.
+func designCells(o Options, mk []func() harness.Workload) []harness.Cell {
+	var cells []harness.Cell
 	for _, m := range mk {
 		for _, d := range o.designs() {
-			r, err := harness.Run(o.config(d), m())
-			if err != nil {
-				return nil, err
-			}
-			t.Add(r)
+			cells = append(cells, harness.Cell{Config: o.config(d), Make: m})
 		}
 	}
-	return t, nil
+	return cells
 }
 
-func runFig8Redis(o Options) (*harness.Table, error) {
+func fig8RedisCells(o Options) []harness.Cell {
 	mk := []func() harness.Workload{}
 	for _, setOnly := range []bool{true, false} {
-		setOnly := setOnly
 		mk = append(mk, func() harness.Workload {
 			cfg := redispm.Default(setOnly)
 			cfg.Ops = o.scale(cfg.Ops)
 			return redispm.New(cfg)
 		})
 	}
-	return runSet(o, "Fig. 8(a)-(d) Redis", mk)
+	return designCells(o, mk)
 }
 
-func runFig8KV(o Options) (*harness.Table, error) {
+func fig8KVCells(o Options) []harness.Cell {
 	mk := []func() harness.Workload{}
 	for _, st := range kvtrees.Structures() {
 		for _, mix := range []kvtrees.Mix{kvtrees.InsertOnly, kvtrees.Balanced} {
-			st, mix := st, mix
 			mk = append(mk, func() harness.Workload {
 				cfg := kvtrees.Default(st, mix)
 				cfg.Ops = o.scale(cfg.Ops)
@@ -131,48 +194,45 @@ func runFig8KV(o Options) (*harness.Table, error) {
 			})
 		}
 	}
-	return runSet(o, "Fig. 8(e)-(h) key-value structures", mk)
+	return designCells(o, mk)
 }
 
-func runFig8NStore(o Options) (*harness.Table, error) {
+func fig8NStoreCells(o Options) []harness.Cell {
 	mk := []func() harness.Workload{}
 	for _, mix := range nstore.Mixes() {
-		mix := mix
 		mk = append(mk, func() harness.Workload {
 			cfg := nstore.Default(mix)
 			cfg.Txns = o.scale(cfg.Txns)
 			return nstore.New(cfg)
 		})
 	}
-	return runSet(o, "Fig. 8(i)-(l) N-Store", mk)
+	return designCells(o, mk)
 }
 
-func runFig8Fio(o Options) (*harness.Table, error) {
+func fig8FioCells(o Options) []harness.Cell {
 	mk := []func() harness.Workload{}
 	for _, pat := range []fio.Pattern{fio.Seq, fio.Rand} {
 		for _, wr := range []bool{false, true} {
-			pat, wr := pat, wr
 			mk = append(mk, func() harness.Workload {
 				cfg := fio.Default(pat, wr)
-				cfg.AccessBytes = uint64(o.scale(int(cfg.AccessBytes)))
+				cfg.AccessBytes = o.scaleBytes(cfg.AccessBytes)
 				return fio.New(cfg)
 			})
 		}
 	}
-	return runSet(o, "Fig. 8(m)-(p) fio", mk)
+	return designCells(o, mk)
 }
 
-func runFig8Stream(o Options) (*harness.Table, error) {
+func fig8StreamCells(o Options) []harness.Cell {
 	mk := []func() harness.Workload{}
 	for _, k := range stream.Kernels() {
-		k := k
 		mk = append(mk, func() harness.Workload {
 			cfg := stream.Default(k)
-			cfg.ArrayBytes = uint64(o.scale(int(cfg.ArrayBytes))) &^ 4095
+			cfg.ArrayBytes = o.scaleBytes(cfg.ArrayBytes) &^ 4095
 			return stream.New(cfg)
 		})
 	}
-	return runSet(o, "Fig. 8(q)-(t) stream", mk)
+	return designCells(o, mk)
 }
 
 // fig9Workloads is the paper's ablation set: one workload per application.
@@ -195,12 +255,12 @@ func fig9Workloads(o Options) []func() harness.Workload {
 		},
 		func() harness.Workload {
 			cfg := fio.Default(fio.Rand, true)
-			cfg.AccessBytes = uint64(o.scale(int(cfg.AccessBytes)))
+			cfg.AccessBytes = o.scaleBytes(cfg.AccessBytes)
 			return fio.New(cfg)
 		},
 		func() harness.Workload {
 			cfg := stream.Default(stream.Triad)
-			cfg.ArrayBytes = uint64(o.scale(int(cfg.ArrayBytes))) &^ 4095
+			cfg.ArrayBytes = o.scaleBytes(cfg.ArrayBytes) &^ 4095
 			return stream.New(cfg)
 		},
 	}
@@ -217,71 +277,40 @@ var fig9Points = []struct {
 	{"+data-diffs(tvarak)", param.FullTvarak()},
 }
 
-func runFig9(o Options) (*harness.Table, error) {
-	t := &harness.Table{Title: "Fig. 9 design-choice ablation (vs Baseline)"}
+func fig9Cells(o Options) []harness.Cell {
+	var cells []harness.Cell
 	for _, mk := range fig9Workloads(o) {
-		// Baseline reference.
-		r, err := harness.Run(o.config(param.Baseline), mk())
-		if err != nil {
-			return nil, err
-		}
-		t.Add(r)
+		cells = append(cells, harness.Cell{Config: o.config(param.Baseline), Make: mk})
 		for _, pt := range fig9Points {
 			cfg := o.config(param.Tvarak)
 			cfg.Tvarak.Features = pt.Feats
-			r, err := harness.Run(cfg, mk())
-			if err != nil {
-				return nil, err
-			}
-			r.Variant = pt.Name
-			t.Add(r)
+			cells = append(cells, harness.Cell{Config: cfg, Make: mk, Variant: pt.Name})
 		}
 	}
-	return t, nil
+	return cells
 }
 
-func runFig10a(o Options) (*harness.Table, error) {
-	return runWaySweep(o, "Fig. 10(a) redundancy-caching way sensitivity", func(cfg *param.Config, ways int) {
-		cfg.Tvarak.RedundancyWays = ways
-	})
-}
-
-func runFig10b(o Options) (*harness.Table, error) {
-	return runWaySweep(o, "Fig. 10(b) data-diff way sensitivity", func(cfg *param.Config, ways int) {
-		cfg.Tvarak.DiffWays = ways
-	})
-}
-
-func runWaySweep(o Options, title string, set func(*param.Config, int)) (*harness.Table, error) {
-	t := &harness.Table{Title: title}
+func waySweepCells(o Options, set func(*param.Config, int)) []harness.Cell {
+	var cells []harness.Cell
 	for _, mk := range fig9Workloads(o) {
-		r, err := harness.Run(o.config(param.Baseline), mk())
-		if err != nil {
-			return nil, err
-		}
-		t.Add(r)
+		cells = append(cells, harness.Cell{Config: o.config(param.Baseline), Make: mk})
 		for _, ways := range []int{1, 2, 4, 6, 8} {
 			cfg := o.config(param.Tvarak)
 			set(cfg, ways)
-			r, err := harness.Run(cfg, mk())
-			if err != nil {
-				return nil, err
-			}
-			r.Variant = fmt.Sprintf("%d-way", ways)
-			t.Add(r)
+			cells = append(cells, harness.Cell{
+				Config:  cfg,
+				Make:    mk,
+				Variant: fmt.Sprintf("%d-way", ways),
+			})
 		}
 	}
-	return t, nil
+	return cells
 }
 
-func runSec4G(o Options) (*harness.Table, error) {
-	t := &harness.Table{Title: "§IV-G exclusive-cache TVARAK (no LLC data diffs)"}
+func sec4GCells(o Options) []harness.Cell {
+	var cells []harness.Cell
 	for _, mk := range fig9Workloads(o) {
-		r, err := harness.Run(o.config(param.Baseline), mk())
-		if err != nil {
-			return nil, err
-		}
-		t.Add(r)
+		cells = append(cells, harness.Cell{Config: o.config(param.Baseline), Make: mk})
 		for _, pt := range []struct {
 			name  string
 			feats param.TvarakFeatures
@@ -291,22 +320,16 @@ func runSec4G(o Options) (*harness.Table, error) {
 		} {
 			cfg := o.config(param.Tvarak)
 			cfg.Tvarak.Features = pt.feats
-			r, err := harness.Run(cfg, mk())
-			if err != nil {
-				return nil, err
-			}
-			r.Variant = pt.name
-			t.Add(r)
+			cells = append(cells, harness.Cell{Config: cfg, Make: mk, Variant: pt.name})
 		}
 	}
-	return t, nil
+	return cells
 }
 
-// runExtVilamb compares the Vilamb extension against the paper's four
+// extVilambCells compares the Vilamb extension against the paper's four
 // designs on the transactional workloads it applies to (Table I's
 // "configurable" overhead row).
-func runExtVilamb(o Options) (*harness.Table, error) {
-	t := &harness.Table{Title: "extension: Vilamb (asynchronous epochs) vs evaluated designs"}
+func extVilambCells(o Options) []harness.Cell {
 	mks := []func() harness.Workload{
 		func() harness.Workload {
 			cfg := redispm.Default(true)
@@ -319,55 +342,60 @@ func runExtVilamb(o Options) (*harness.Table, error) {
 			return kvtrees.New(cfg)
 		},
 	}
-	designs := append(o.designs(), param.Vilamb)
+	// Copy before appending Vilamb: o.designs() may return the caller's
+	// Options.Designs slice, and appending in place would scribble over
+	// its spare capacity.
+	base := o.designs()
+	designs := make([]param.Design, 0, len(base)+1)
+	designs = append(designs, base...)
+	designs = append(designs, param.Vilamb)
+	var cells []harness.Cell
 	for _, mk := range mks {
 		for _, d := range designs {
-			r, err := harness.Run(o.config(d), mk())
-			if err != nil {
-				return nil, err
-			}
-			t.Add(r)
+			cells = append(cells, harness.Cell{Config: o.config(d), Make: mk})
 		}
 	}
-	return t, nil
+	return cells
 }
 
-func runSec4HDimms(o Options) (*harness.Table, error) {
-	t := &harness.Table{Title: "§IV-H NVM DIMM count (stream triad)"}
+func sec4HDimmsCells(o Options) []harness.Cell {
+	var cells []harness.Cell
 	for _, dimms := range []int{4, 8} {
 		for _, d := range o.designs() {
 			cfg := o.config(d)
 			cfg.NVM = param.OptaneLike(dimms).Mem
-			scfg := stream.Default(stream.Triad)
-			scfg.ArrayBytes = uint64(o.scale(int(scfg.ArrayBytes))) &^ 4095
-			r, err := harness.Run(cfg, stream.New(scfg))
-			if err != nil {
-				return nil, err
-			}
-			r.Variant = fmt.Sprintf("%d-DIMMs", dimms)
-			r.Workload = fmt.Sprintf("%s/%ddimm", r.Workload, dimms)
-			t.Add(r)
+			cells = append(cells, harness.Cell{
+				Config: cfg,
+				Make: func() harness.Workload {
+					scfg := stream.Default(stream.Triad)
+					scfg.ArrayBytes = o.scaleBytes(scfg.ArrayBytes) &^ 4095
+					return stream.New(scfg)
+				},
+				Variant: fmt.Sprintf("%d-DIMMs", dimms),
+				Rename:  func(w string) string { return fmt.Sprintf("%s/%ddimm", w, dimms) },
+			})
 		}
 	}
-	return t, nil
+	return cells
 }
 
-func runSec4HTech(o Options) (*harness.Table, error) {
-	t := &harness.Table{Title: "§IV-H NVM technology (stream triad)"}
+func sec4HTechCells(o Options) []harness.Cell {
+	var cells []harness.Cell
 	for _, tech := range []param.NVMTech{param.OptaneLike(4), param.BatteryBackedDRAM(4)} {
 		for _, d := range o.designs() {
 			cfg := o.config(d)
 			cfg.NVM = tech.Mem
-			scfg := stream.Default(stream.Triad)
-			scfg.ArrayBytes = uint64(o.scale(int(scfg.ArrayBytes))) &^ 4095
-			r, err := harness.Run(cfg, stream.New(scfg))
-			if err != nil {
-				return nil, err
-			}
-			r.Variant = tech.Name
-			r.Workload = fmt.Sprintf("%s/%s", r.Workload, tech.Name)
-			t.Add(r)
+			cells = append(cells, harness.Cell{
+				Config: cfg,
+				Make: func() harness.Workload {
+					scfg := stream.Default(stream.Triad)
+					scfg.ArrayBytes = o.scaleBytes(scfg.ArrayBytes) &^ 4095
+					return stream.New(scfg)
+				},
+				Variant: tech.Name,
+				Rename:  func(w string) string { return fmt.Sprintf("%s/%s", w, tech.Name) },
+			})
 		}
 	}
-	return t, nil
+	return cells
 }

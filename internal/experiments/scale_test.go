@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// scaleBytes must stay in uint64 end to end: the old int round-trip
+// truncated footprints above 2 GiB on 32-bit builds.
+func TestScaleBytesBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		scale float64
+		n     uint64
+		want  uint64
+	}{
+		{"zero scale passes through", 0, 1 << 40, 1 << 40},
+		{"negative scale passes through", -1, 4096, 4096},
+		{"unit scale identity", 1, 1 << 40, 1 << 40},
+		{"halving stays exact", 0.5, 1 << 40, 1 << 39},
+		{"tiny result clamps to 1", 0.001, 10, 1},
+		{"above 32-bit int range", 0.5, 1 << 33, 1 << 32},
+		{"max int32 boundary", 1, 1<<31 - 1, 1<<31 - 1},
+		{"just past int32", 1, 1 << 31, 1 << 31},
+	}
+	for _, c := range cases {
+		o := Options{Scale: c.scale}
+		if got := o.scaleBytes(c.n); got != c.want {
+			t.Errorf("%s: scaleBytes(%d) with Scale=%v = %d, want %d", c.name, c.n, c.scale, got, c.want)
+		}
+	}
+}
+
+// scale (the int path for operation counts) keeps its clamp-to-1 floor.
+func TestScaleOpsFloor(t *testing.T) {
+	o := Options{Scale: 1e-9}
+	if got := o.scale(100); got != 1 {
+		t.Errorf("scale(100) = %d, want floor of 1", got)
+	}
+}

@@ -3,6 +3,7 @@ package harness_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"tvarak/internal/harness"
 	"tvarak/internal/param"
@@ -170,6 +171,31 @@ func TestVilambDesignThroughHarness(t *testing.T) {
 	}
 	if w.sys.Vilambs[0].DirtyPages() != 0 {
 		t.Error("dirty pages left at end of fixed work")
+	}
+}
+
+func TestWithDaemonsTerminatesWithoutMeasuredWork(t *testing.T) {
+	// Regression: with Vilamb daemons attached but every worker slot nil,
+	// nothing ever decremented the remaining-work counter, so the daemons
+	// spun forever. They must start stopped and still reconcile the tail.
+	for _, workers := range [][]func(*sim.Core){nil, {nil}, {nil, nil}} {
+		s, err := harness.NewSystem(param.SmallTest(param.Vilamb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.NewHeap("h", 2<<20, 1024); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			s.Eng.Run(s.WithDaemons(workers))
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("WithDaemons with %d nil workers hung", len(workers))
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tvarak/internal/param"
+)
+
+// Cell is one independent unit of an experiment: a machine configuration
+// plus a workload factory. Every cell simulates on its own fresh System
+// (see Run), so cells share no mutable state and a Runner may execute them
+// in any order — or concurrently — without changing their results.
+type Cell struct {
+	// Config is the machine this cell simulates. Each cell must own its
+	// Config: builders that mutate one (feature ablations, way sweeps,
+	// DIMM sweeps) allocate a fresh Config per cell.
+	Config *param.Config
+	// Make builds the workload. It is called inside the executing worker,
+	// so factories must not capture shared mutable state; capturing
+	// configuration values and deterministic seeds is fine.
+	Make func() Workload
+	// Variant labels sub-configurations within a design (Fig. 9 ablation
+	// points, Fig. 10 way counts); it is copied onto the Result.
+	Variant string
+	// Rename, if non-nil, rewrites the result's workload label after the
+	// run (the §IV-H sweeps suffix the DIMM count or NVM technology so
+	// each parameter point gets its own baseline row).
+	Rename func(workload string) string
+}
+
+// run executes the cell on a fresh system and applies its labelling.
+func (c Cell) run() (*Result, error) {
+	r, err := Run(c.Config, c.Make())
+	if err != nil {
+		return nil, err
+	}
+	r.Variant = c.Variant
+	if c.Rename != nil {
+		r.Workload = c.Rename(r.Workload)
+	}
+	return r, nil
+}
+
+// Progress is the per-cell completion callback: done cells so far, total
+// cells, the cell's result and its wall-clock duration. The Runner
+// serializes calls, so implementations need no locking of their own.
+type Progress func(done, total int, r *Result, elapsed time.Duration)
+
+// Runner executes cells across a bounded worker pool and reassembles the
+// results in cell order, regardless of completion order. Because every
+// cell is deterministic and isolated, a table rendered from a parallel run
+// is byte-identical to one from a sequential run of the same cells — the
+// determinism gate in the tests asserts exactly that.
+type Runner struct {
+	// Workers bounds how many cells simulate concurrently. Zero or
+	// negative means runtime.NumCPU(); 1 reproduces the historical
+	// sequential behaviour exactly (including stopping at the first
+	// failing cell).
+	Workers int
+	// Progress, if non-nil, is invoked after each cell completes, in
+	// completion order.
+	Progress Progress
+}
+
+func (rn Runner) workers(n int) int {
+	w := rn.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run executes every cell and returns the results indexed exactly like
+// cells. On failure it returns the error of the earliest (by cell order)
+// cell that failed; cells not yet started when a failure is observed are
+// skipped, but any earlier cell has always already been claimed, so the
+// reported error does not depend on the worker count.
+func (rn Runner) Run(cells []Cell) ([]*Result, error) {
+	n := len(cells)
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex // serializes Progress and the done counter
+		done   int
+	)
+	next.Store(-1)
+	for w := rn.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				start := time.Now()
+				r, err := cells[i].run()
+				results[i], errs[i] = r, err
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+				if rn.Progress != nil {
+					mu.Lock()
+					done++
+					rn.Progress(done, n, r, time.Since(start))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunTable executes the cells and collects the results, in cell order,
+// into a titled table.
+func (rn Runner) RunTable(title string, cells []Cell) (*Table, error) {
+	rs, err := rn.Run(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: title}
+	for _, r := range rs {
+		t.Add(r)
+	}
+	return t, nil
+}

@@ -149,6 +149,12 @@ func (s *System) WithDaemons(workers []func(*sim.Core)) []func(*sim.Core) {
 			}
 		}
 	}
+	// No measured work at all (every slot nil or an empty list): nothing
+	// will ever flip stop, so the daemons would spin forever. Start them
+	// stopped; they still run their final reconciliation pass.
+	if remaining == 0 {
+		stop = true
+	}
 	daemons := min(param.VilambDaemonCores, len(s.Vilambs))
 	if len(wrapped)+daemons > s.Cfg.Cores {
 		panic("harness: no spare cores for the Vilamb daemons")

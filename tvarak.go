@@ -62,8 +62,17 @@ type (
 	ResultTable = harness.Table
 	// Experiment regenerates one of the paper's tables or figures.
 	Experiment = experiments.Experiment
-	// ExperimentOptions tunes experiment scale and design selection.
+	// ExperimentOptions tunes experiment scale, design selection and
+	// parallelism.
 	ExperimentOptions = experiments.Options
+	// Cell is one independent simulation unit (config + workload factory);
+	// experiments enumerate cells and a Runner executes them.
+	Cell = harness.Cell
+	// Runner executes cells across a bounded worker pool, reassembling
+	// results in cell order so tables are identical at any parallelism.
+	Runner = harness.Runner
+	// Progress is the per-cell completion callback a Runner invokes.
+	Progress = harness.Progress
 )
 
 // Design constants.
@@ -126,6 +135,14 @@ func (m *Machine) System() *harness.System { return m.sys }
 // returns its metrics.
 func RunWorkload(cfg *Config, w Workload) (*Result, error) {
 	return harness.Run(cfg, w)
+}
+
+// RunCells executes independent simulation cells on a bounded worker pool
+// (workers <= 0 means one per CPU) and returns results in cell order.
+// Results are identical at any worker count; see Runner for progress
+// callbacks and table assembly.
+func RunCells(cells []Cell, workers int) ([]*Result, error) {
+	return harness.Runner{Workers: workers}.Run(cells)
 }
 
 // Experiments lists the registry reproducing every table and figure.
