@@ -30,4 +30,23 @@ go test ./...
 echo "== go test -race (parallel harness gate) =="
 go test -race ./internal/harness/ ./internal/experiments/ .
 
+echo "== telemetry export gate =="
+# One small experiment cell through the full -metrics-out path, twice:
+# the exports must be byte-identical (determinism), schema-valid, and match
+# the committed golden (numbers regression). After an intentional behaviour
+# change, regenerate the golden with: UPDATE_GOLDEN=1 ./ci.sh
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/tvarak-sim" ./cmd/tvarak-sim
+gate=(-exp fig8-redis -scale 0.02 -designs baseline,tvarak -sample-every 100000)
+"$tmp/tvarak-sim" "${gate[@]}" -metrics-out "$tmp/run1.json" >/dev/null
+"$tmp/tvarak-sim" "${gate[@]}" -metrics-out "$tmp/run2.json" >/dev/null
+cmp "$tmp/run1.json" "$tmp/run2.json"
+"$tmp/tvarak-sim" -validate "$tmp/run1.json"
+if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
+    cp "$tmp/run1.json" testdata/ci-golden.json
+    echo "regenerated testdata/ci-golden.json"
+fi
+"$tmp/tvarak-sim" -compare "testdata/ci-golden.json,$tmp/run1.json"
+
 echo "ci.sh: all checks passed"

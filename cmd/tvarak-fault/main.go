@@ -3,10 +3,15 @@
 // bugs into the simulated NVM DIMMs, shows that device-level ECC does not
 // notice them, and shows TVARAK detecting each corruption on read
 // verification and recovering the data from cross-DIMM parity.
+//
+// With -trace the whole session (fills, writebacks, corruption detections,
+// parity recoveries, ...) is written as a JSONL event stream, so the
+// recovery storm each injected bug causes is inspectable event by event.
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,17 +19,29 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	traceOut := flag.String("trace", "", "write a JSONL event trace of every scenario to this path")
+	flag.Parse()
+	if err := run(*traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "tvarak-fault:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(traceOut string) error {
 	cfg := tvarak.ReproScaleConfig(tvarak.DesignTvarak)
 	m, err := tvarak.NewMachine(cfg)
 	if err != nil {
 		return err
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr := tvarak.NewJSONLTracer(f, 0)
+		defer tr.Close()
+		m.Engine().Tracer = tr
 	}
 	dm, err := m.NewMapping("victim", 1<<20)
 	if err != nil {

@@ -8,11 +8,18 @@
 //	tvarak-sim -exp fig8-redis
 //	tvarak-sim -exp all -scale 0.25
 //	tvarak-sim -exp all -parallel 8 -progress
+//	tvarak-sim -exp fig8-stream -metrics-out run.json -sample-every 100000
+//	tvarak-sim -exp fig8-stream -trace trace.jsonl -parallel 1
+//	tvarak-sim -compare old.json,new.json -tolerance 0.01
+//	tvarak-sim -validate run.json
 //	tvarak-sim -exp table1
 //
 // Experiments run their independent simulation cells on a bounded worker
 // pool (-parallel, default one per CPU); tables come out in the same order
-// and byte-identical regardless of the parallelism level.
+// and byte-identical regardless of the parallelism level. -metrics-out
+// writes the versioned machine-readable export (JSON, or CSV when the path
+// ends in .csv); -compare diffs two JSON exports and exits non-zero on any
+// per-metric regression beyond -tolerance.
 package main
 
 import (
@@ -21,11 +28,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"tvarak"
 	"tvarak/internal/experiments"
+	"tvarak/internal/obs"
 	"tvarak/internal/param"
 )
 
@@ -38,7 +47,16 @@ func main() {
 		designs  = flag.String("designs", "", "comma-separated subset of designs (baseline,tvarak,txb-object,txb-page,vilamb)")
 		jsonOut  = flag.Bool("json", false, "emit one JSON object per run instead of tables")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulation cells running concurrently (1 = sequential; tables are identical at any level)")
-		progress = flag.Bool("progress", false, "print per-cell completion and timing to stderr as cells finish")
+		progress = flag.Bool("progress", false, "print per-cell completion, timing and live counters to stderr as cells finish")
+
+		metricsOut  = flag.String("metrics-out", "", "write the versioned machine-readable export to this path (CSV when it ends in .csv, JSON otherwise)")
+		traceOut    = flag.String("trace", "", "write a JSONL event trace of every cell's measured run to this path (use -parallel 1 for a deterministic event order)")
+		sampleEvery = flag.Uint64("sample-every", 0, "epoch length in cycles for per-run time series in the export (0 = aggregates only)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this path")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile taken after the runs to this path")
+		compare     = flag.String("compare", "", "compare two metric exports, given as old.json,new.json; exits 1 on any delta beyond -tolerance")
+		tolerance   = flag.Float64("tolerance", 0, "relative per-metric tolerance for -compare (0 = exact)")
+		validate    = flag.String("validate", "", "read a metrics export, validate its schema version, and print a summary")
 	)
 	flag.Parse()
 
@@ -47,6 +65,14 @@ func main() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Paper)
 		}
 		fmt.Printf("%-14s %s\n", "table1", "Table I: design trade-off matrix (qualitative)")
+		return
+	}
+	if *compare != "" {
+		runCompare(*compare, *tolerance)
+		return
+	}
+	if *validate != "" {
+		runValidate(*validate)
 		return
 	}
 	if *exp == "" {
@@ -58,13 +84,43 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, FullScale: *full, Designs: parseDesigns(*designs), Parallel: *parallel}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	opts := experiments.Options{
+		Scale: *scale, FullScale: *full, Designs: parseDesigns(*designs),
+		Parallel: *parallel, SampleEvery: *sampleEvery,
+	}
+	var tracer *obs.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewJSONL(f, 0)
+		opts.Tracer = tracer
+	}
 	if *progress {
 		opts.Progress = func(done, total int, r *tvarak.Result, elapsed time.Duration) {
-			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-20s %-28s %8v\n",
-				done, total, r.Workload, r.Label(), elapsed.Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-20s %-28s %8v  cyc=%d nvm=%d+%d $=%d corr=%d\n",
+				done, total, r.Workload, r.Label(), elapsed.Round(time.Millisecond),
+				r.Stats.Cycles, r.Stats.NVM.Data(), r.Stats.NVM.Redundancy(),
+				r.Stats.CacheTotal(), r.Stats.CorruptionsDetected)
 		}
 	}
+
 	var ids []string
 	if *exp == "all" {
 		for _, e := range tvarak.Experiments() {
@@ -73,18 +129,18 @@ func main() {
 	} else {
 		ids = strings.Split(*exp, ",")
 	}
+	export := obs.NewExport("tvarak-sim")
 	for _, id := range ids {
 		e, err := tvarak.LookupExperiment(strings.TrimSpace(id))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tvarak-sim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		start := time.Now()
 		tab, err := e.Run(opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tvarak-sim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
+		export.Runs = append(export.Runs, tab.ExportRuns(e.ID)...)
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			for _, r := range tab.Results {
@@ -100,8 +156,7 @@ func main() {
 					"cacheTotal": r.Stats.CacheTotal(),
 				}
 				if err := enc.Encode(row); err != nil {
-					fmt.Fprintln(os.Stderr, "tvarak-sim:", err)
-					os.Exit(1)
+					fatal(err)
 				}
 			}
 			continue
@@ -109,6 +164,99 @@ func main() {
 		fmt.Printf("# %s (%s) — simulated in %v\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond))
 		fmt.Println(tab)
 	}
+
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fatal(err)
+		}
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "tvarak-sim: trace bound hit, %d event(s) dropped\n", d)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeExport(export, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tvarak-sim:", err)
+	os.Exit(1)
+}
+
+// writeExport serializes the export, choosing CSV or JSON by extension.
+func writeExport(x *obs.Export, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		err = x.WriteCSV(f)
+	} else {
+		err = x.WriteJSON(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// runCompare diffs two exports ("old.json,new.json") and exits 1 when they
+// differ beyond the tolerance.
+func runCompare(spec string, tol float64) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintln(os.Stderr, "tvarak-sim: -compare wants two paths: old.json,new.json")
+		os.Exit(2)
+	}
+	old, err := readExport(strings.TrimSpace(parts[0]))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readExport(strings.TrimSpace(parts[1]))
+	if err != nil {
+		fatal(err)
+	}
+	rep := obs.Compare(old, cur, tol)
+	fmt.Print(rep)
+	if !rep.Clean() {
+		os.Exit(1)
+	}
+}
+
+// runValidate checks an export's schema version and prints a summary.
+func runValidate(path string) {
+	x, err := readExport(path)
+	if err != nil {
+		fatal(err)
+	}
+	samples := 0
+	for i := range x.Runs {
+		samples += len(x.Runs[i].Series)
+	}
+	fmt.Printf("%s: schema v%d, %d run(s), %d series sample(s)\n", path, x.Schema, len(x.Runs), samples)
+}
+
+func readExport(path string) (*obs.Export, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return obs.ReadJSON(f)
 }
 
 func parseDesigns(s string) []param.Design {

@@ -5,6 +5,7 @@ import (
 
 	"tvarak/internal/cache"
 	"tvarak/internal/nvm"
+	"tvarak/internal/obs"
 	"tvarak/internal/stats"
 	"tvarak/internal/xsum"
 )
@@ -98,6 +99,7 @@ func (t *Controller) OnDirtyInstall(now uint64, addr uint64, oldClean []byte) {
 	}
 	b.Install(v, addr, oldClean, cache.Shared)
 	t.st.DiffStashes++
+	t.eng.Emit(obs.EvDiffStash, now, addr, 0)
 	t.st.AddCache(stats.LLC, true, t.eng.Cfg.LLCBank.HitEnergyPJ)
 }
 
@@ -108,6 +110,7 @@ func (t *Controller) OnDirtyInstall(now uint64, addr uint64, oldClean []byte) {
 func (t *Controller) earlyWriteback(now uint64, v *cache.Line) {
 	t.st.DiffEvictions++
 	dataAddr := v.Addr
+	t.eng.Emit(obs.EvDiffEvict, now, dataAddr, 0)
 	b := t.eng.Bank(dataAddr)
 	dl := b.Lookup(dataAddr, 0, t.eng.DataWays())
 	if dl == nil || !dl.Dirty() {
@@ -120,6 +123,7 @@ func (t *Controller) earlyWriteback(now uint64, v *cache.Line) {
 	}
 	t.updateRedundancy(now, m, dataAddr, v.Data, dl.Data)
 	t.st.Writebacks++
+	t.eng.Emit(obs.EvEarlyWriteback, now, dataAddr, 0)
 	t.eng.NVM.WriteLine(now, dataAddr, nvm.Data, dl.Data)
 	dl.State = cache.Shared
 }
@@ -217,6 +221,7 @@ func (t *Controller) updateRedundancyPage(now uint64, m *Mapping, addr uint64, n
 // checksum (an unrecoverable double fault).
 func (t *Controller) recoverLine(now uint64, bank int, addr uint64, data []byte, want uint32, lat *uint64) {
 	t.st.CorruptionsDetected++
+	t.eng.Emit(obs.EvCorruption, now, addr, 0)
 	if t.CorruptionHook != nil {
 		t.CorruptionHook(addr)
 	}
@@ -234,6 +239,7 @@ func (t *Controller) recoverLine(now uint64, bank int, addr uint64, data []byte,
 	copy(data, rec)
 	t.eng.NVM.WriteLine(now, addr, nvm.Data, rec) // repair media
 	t.st.Recoveries++
+	t.eng.Emit(obs.EvRecovery, now, addr, *lat)
 }
 
 // recoverPage reconstructs every line of the page at base from parity in
@@ -241,6 +247,7 @@ func (t *Controller) recoverLine(now uint64, bank int, addr uint64, data []byte,
 // in t.pageBuf. want is the stored page checksum the result must match.
 func (t *Controller) recoverPage(now uint64, bank int, base uint64, want uint32, lat *uint64) {
 	t.st.CorruptionsDetected++
+	t.eng.Emit(obs.EvCorruption, now, base, 1)
 	if t.CorruptionHook != nil {
 		t.CorruptionHook(base)
 	}
@@ -261,6 +268,7 @@ func (t *Controller) recoverPage(now uint64, bank int, base uint64, want uint32,
 		panic(fmt.Sprintf("core: page %#x unrecoverable (parity reconstruction fails checksum)", base))
 	}
 	t.st.Recoveries++
+	t.eng.Emit(obs.EvRecovery, now, base, *lat)
 }
 
 // CheckInvariants validates the controller's structural invariants and

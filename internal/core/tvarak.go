@@ -30,6 +30,7 @@ import (
 
 	"tvarak/internal/cache"
 	"tvarak/internal/nvm"
+	"tvarak/internal/obs"
 	"tvarak/internal/param"
 	"tvarak/internal/sim"
 	"tvarak/internal/stats"
@@ -216,13 +217,13 @@ func (t *Controller) redGet(now uint64, bank int, addr uint64, lat *uint64) redL
 	if l := oc.Lookup(addr, 0, oc.Ways()); l != nil {
 		t.st.AddCache(stats.TvarakCache, true, t.p.OnCtrlHitEnergyPJ)
 		oc.Touch(l)
-		t.claimExclusive(addr, bank)
+		t.claimExclusive(now, addr, bank)
 		return redLine{Data: l.Data, addr: addr, cached: l}
 	}
 	t.st.AddCache(stats.TvarakCache, false, t.p.OnCtrlMissEnergyPJ)
 	// Another controller may hold a newer (dirty) copy: write it back to
 	// the LLC partition and invalidate it before we read.
-	t.claimExclusive(addr, bank)
+	t.claimExclusive(now, addr, bank)
 	ll := t.llcRedGet(now, addr, lat)
 	v := oc.Victim(addr, 0, oc.Ways())
 	if v.State != cache.Invalid {
@@ -246,7 +247,7 @@ func (t *Controller) redPut(now uint64, rl redLine) {
 // claimExclusive invalidates every other bank's on-controller copy of addr,
 // first folding a dirty copy back into the LLC partition (MESI M→I with
 // writeback).
-func (t *Controller) claimExclusive(addr uint64, bank int) {
+func (t *Controller) claimExclusive(now uint64, addr uint64, bank int) {
 	hs := t.holders[addr] &^ (1 << uint(bank))
 	if hs == 0 {
 		return
@@ -266,6 +267,7 @@ func (t *Controller) claimExclusive(addr uint64, bank int) {
 		}
 		oc.Invalidate(l)
 		t.st.RedInvalidations++
+		t.eng.Emit(obs.EvRedInval, now, addr, uint64(b))
 	}
 	t.holders[addr] &= 1 << uint(bank)
 }
@@ -333,6 +335,7 @@ func (t *Controller) evictRedLLC(now uint64, v *cache.Line) {
 				}
 				oc.Invalidate(l)
 				t.st.RedInvalidations++
+				t.eng.Emit(obs.EvRedInval, now, v.Addr, uint64(b))
 			}
 		}
 		delete(t.holders, v.Addr)

@@ -19,6 +19,7 @@ import (
 	"tvarak/internal/apps/redispm"
 	"tvarak/internal/apps/stream"
 	"tvarak/internal/harness"
+	"tvarak/internal/obs"
 	"tvarak/internal/param"
 )
 
@@ -38,6 +39,14 @@ type Options struct {
 	Parallel int
 	// Progress, if non-nil, is called after each cell completes.
 	Progress harness.Progress
+	// SampleEvery, when non-zero, samples every cell's measured run into
+	// an epoch time series of the given cycle granularity; the series
+	// rides on each Result and lands in the machine-readable export.
+	SampleEvery uint64
+	// Tracer, when non-nil, receives every cell's measured simulation
+	// events, stamped with the cell's workload/design/variant label. It
+	// must be safe for concurrent Trace calls when Parallel != 1.
+	Tracer obs.Tracer
 }
 
 func (o Options) designs() []param.Design {
@@ -79,6 +88,10 @@ func (o Options) scaleBytes(n uint64) uint64 {
 
 // run executes the cells on the options' runner and collects the table.
 func (o Options) run(title string, cells []harness.Cell) (*harness.Table, error) {
+	for i := range cells {
+		cells[i].SampleEvery = o.SampleEvery
+		cells[i].Tracer = o.Tracer
+	}
 	rn := harness.Runner{Workers: o.Parallel, Progress: o.Progress}
 	return rn.RunTable(title, cells)
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"tvarak/internal/obs"
 	"tvarak/internal/param"
 	"tvarak/internal/stats"
 )
@@ -17,6 +18,10 @@ type Result struct {
 	Design   param.Design
 	Variant  string
 	Stats    stats.Stats
+
+	// Series is the run's epoch time series, populated only when the run
+	// was sampled (Observation.SampleEvery / the -sample-every flag).
+	Series []obs.Sample
 }
 
 // Label is the display name: the design plus any variant.
@@ -40,14 +45,24 @@ type Table struct {
 // Add appends a result.
 func (t *Table) Add(r *Result) { t.Results = append(t.Results, r) }
 
-// baseline finds the Baseline result for a workload.
+// baseline finds the Baseline result for a workload, preferring the plain
+// (empty-variant) run: when a table carries ablation variants, overheads
+// must be computed against the unmodified baseline, not whichever variant
+// happened to be inserted first.
 func (t *Table) baseline(workload string) *Result {
+	var fallback *Result
 	for _, r := range t.Results {
-		if r.Workload == workload && r.Design == param.Baseline {
+		if r.Workload != workload || r.Design != param.Baseline {
+			continue
+		}
+		if r.Variant == "" {
 			return r
 		}
+		if fallback == nil {
+			fallback = r
+		}
 	}
-	return nil
+	return fallback
 }
 
 // Overhead returns the runtime overhead of r relative to its workload's
@@ -90,10 +105,31 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Find returns the first result for (workload, design), or nil.
+// Find returns the result for (workload, design), preferring the plain
+// (empty-variant) run when ablation or sweep variants are present, and
+// falling back to the first matching variant otherwise. Use FindVariant to
+// address a specific variant.
 func (t *Table) Find(workload string, d param.Design) *Result {
+	var fallback *Result
 	for _, r := range t.Results {
-		if r.Workload == workload && r.Design == d {
+		if r.Workload != workload || r.Design != d {
+			continue
+		}
+		if r.Variant == "" {
+			return r
+		}
+		if fallback == nil {
+			fallback = r
+		}
+	}
+	return fallback
+}
+
+// FindVariant returns the first result for (workload, design, variant), or
+// nil.
+func (t *Table) FindVariant(workload string, d param.Design, variant string) *Result {
+	for _, r := range t.Results {
+		if r.Workload == workload && r.Design == d && r.Variant == variant {
 			return r
 		}
 	}
@@ -103,6 +139,26 @@ func (t *Table) Find(workload string, d param.Design) *Result {
 // pct formats a fraction as "+3.1%".
 func pct(f float64) string {
 	return fmt.Sprintf("%+.1f%%", f*100)
+}
+
+// ExportRuns converts the table's results, in insertion order, into
+// machine-readable export records tagged with the experiment id. Append
+// the records to an obs.Export and serialize with WriteJSON/WriteCSV.
+func (t *Table) ExportRuns(experiment string) []obs.RunRecord {
+	recs := make([]obs.RunRecord, 0, len(t.Results))
+	for _, r := range t.Results {
+		recs = append(recs, obs.RunRecord{
+			Experiment:      experiment,
+			Workload:        r.Workload,
+			Design:          r.Design.String(),
+			Variant:         r.Variant,
+			RuntimeOverhead: t.Overhead(r),
+			EnergyOverhead:  t.EnergyOverhead(r),
+			Stats:           r.Stats,
+			Series:          r.Series,
+		})
+	}
+	return recs
 }
 
 // SortedDesigns is the paper's presentation order.

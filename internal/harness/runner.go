@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tvarak/internal/obs"
 	"tvarak/internal/param"
 )
 
@@ -29,11 +30,28 @@ type Cell struct {
 	// run (the §IV-H sweeps suffix the DIMM count or NVM technology so
 	// each parameter point gets its own baseline row).
 	Rename func(workload string) string
+	// SampleEvery, when non-zero, samples the cell's measured run into an
+	// epoch time series (see Observation).
+	SampleEvery uint64
+	// Tracer, when non-nil, receives the cell's measured simulation
+	// events. A tracer shared across cells must be safe for concurrent
+	// Trace calls (obs.JSONL is); each cell's events are stamped with its
+	// workload/design/variant label.
+	Tracer obs.Tracer
 }
 
 // run executes the cell on a fresh system and applies its labelling.
 func (c Cell) run() (*Result, error) {
-	r, err := Run(c.Config, c.Make())
+	w := c.Make()
+	ob := Observation{SampleEvery: c.SampleEvery}
+	if c.Tracer != nil {
+		src := w.Name() + "/" + c.Config.Design.String()
+		if c.Variant != "" {
+			src += "[" + c.Variant + "]"
+		}
+		ob.Tracer = obs.WithSource(c.Tracer, src)
+	}
+	r, err := RunObserved(c.Config, w, ob)
 	if err != nil {
 		return nil, err
 	}

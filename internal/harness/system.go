@@ -9,6 +9,7 @@ import (
 
 	"tvarak/internal/core"
 	"tvarak/internal/daxfs"
+	"tvarak/internal/obs"
 	"tvarak/internal/param"
 	"tvarak/internal/pmem"
 	"tvarak/internal/sim"
@@ -107,10 +108,30 @@ type Workload interface {
 	Workers(s *System) []func(*sim.Core)
 }
 
+// Observation selects the telemetry attached to a measured run. The zero
+// value disables everything and leaves the run's results byte-identical to
+// an unobserved run — both the sampler and the tracer are strictly
+// read-only.
+type Observation struct {
+	// SampleEvery, when non-zero, attaches an epoch sampler with the given
+	// epoch length in cycles; the run's Result carries the time series.
+	SampleEvery uint64
+	// Tracer, when non-nil, receives the measured run's simulation events
+	// (setup traffic is not traced).
+	Tracer obs.Tracer
+}
+
 // Run executes one workload on a fresh system with the given config,
 // following the fixed-work methodology: setup, measurement reset, measured
 // run (which drains on completion). It returns the collected statistics.
 func Run(cfg *param.Config, w Workload) (*Result, error) {
+	return RunObserved(cfg, w, Observation{})
+}
+
+// RunObserved is Run with telemetry: the sampler and tracer attach after
+// setup and the measurement reset, so they cover exactly the fixed-work
+// region the statistics cover.
+func RunObserved(cfg *param.Config, w Workload, ob Observation) (*Result, error) {
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness: building system for %s: %w", w.Name(), err)
@@ -119,9 +140,19 @@ func Run(cfg *param.Config, w Workload) (*Result, error) {
 		return nil, fmt.Errorf("harness: setup of %s: %w", w.Name(), err)
 	}
 	s.Eng.ResetMeasurement()
+	var smp *obs.Sampler
+	if ob.SampleEvery > 0 {
+		smp = obs.NewSampler(ob.SampleEvery)
+		s.Eng.AttachSampler(smp)
+	}
+	s.Eng.Tracer = ob.Tracer
 	s.Eng.Run(s.WithDaemons(w.Workers(s)))
 	st := s.Eng.St.Clone()
-	return &Result{Workload: w.Name(), Design: cfg.Design, Stats: st}, nil
+	r := &Result{Workload: w.Name(), Design: cfg.Design, Stats: st}
+	if smp != nil {
+		r.Series = smp.Samples()
+	}
+	return r, nil
 }
 
 // WithDaemons augments a worker list with the Vilamb daemons (if any): the

@@ -1,0 +1,165 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tvarak/internal/harness"
+	"tvarak/internal/obs"
+	"tvarak/internal/param"
+)
+
+func res(w string, d param.Design, variant string, cycles uint64, energy float64) *harness.Result {
+	r := &harness.Result{Workload: w, Design: d, Variant: variant}
+	r.Stats.Cycles = cycles
+	r.Stats.EnergyPJ = energy
+	return r
+}
+
+func TestFindPrefersEmptyVariant(t *testing.T) {
+	tab := &harness.Table{}
+	sweep := res("w", param.Tvarak, "2-way", 900, 90)
+	plain := res("w", param.Tvarak, "", 1000, 100)
+	tab.Add(sweep)
+	tab.Add(plain)
+	if got := tab.Find("w", param.Tvarak); got != plain {
+		t.Errorf("Find returned %q, want the plain run", got.Label())
+	}
+	if got := tab.FindVariant("w", param.Tvarak, "2-way"); got != sweep {
+		t.Errorf("FindVariant returned %v", got)
+	}
+	if tab.FindVariant("w", param.Tvarak, "64-way") != nil {
+		t.Error("FindVariant invented a result")
+	}
+	// With only variants present, Find falls back to the first one.
+	only := &harness.Table{}
+	only.Add(sweep)
+	if got := only.Find("w", param.Tvarak); got != sweep {
+		t.Errorf("variant-only Find returned %v", got)
+	}
+}
+
+func TestOverheadUsesPlainBaselineAmongVariants(t *testing.T) {
+	tab := &harness.Table{}
+	// An ablation-style table where a baseline variant is inserted before
+	// the plain baseline; overheads must still be relative to the plain run.
+	tab.Add(res("w", param.Baseline, "no-cache", 2000, 400))
+	tab.Add(res("w", param.Baseline, "", 1000, 200))
+	tv := res("w", param.Tvarak, "", 1100, 300)
+	tab.Add(tv)
+	if got := tab.Overhead(tv); got < 0.099 || got > 0.101 {
+		t.Errorf("Overhead = %v, want 0.10 (vs plain baseline, not the variant)", got)
+	}
+	if got := tab.EnergyOverhead(tv); got < 0.499 || got > 0.501 {
+		t.Errorf("EnergyOverhead = %v, want 0.50", got)
+	}
+}
+
+func TestOverheadDegenerateBaselines(t *testing.T) {
+	tab := &harness.Table{}
+	r := res("w", param.Tvarak, "", 1100, 300)
+	tab.Add(r)
+	if tab.Overhead(r) != 0 || tab.EnergyOverhead(r) != 0 {
+		t.Error("missing baseline should yield 0 overheads")
+	}
+	// A zero-runtime/zero-energy baseline must not divide by zero.
+	tab.Add(res("w", param.Baseline, "", 0, 0))
+	if tab.Overhead(r) != 0 || tab.EnergyOverhead(r) != 0 {
+		t.Error("zero baseline should yield 0 overheads, not Inf/NaN")
+	}
+}
+
+func TestTableRendersInInsertionOrder(t *testing.T) {
+	tab := &harness.Table{}
+	tab.Add(res("zeta", param.Tvarak, "", 1, 1))
+	tab.Add(res("alpha", param.Baseline, "", 1, 1))
+	out := tab.String()
+	if strings.Index(out, "zeta") > strings.Index(out, "alpha") {
+		t.Errorf("rows not in insertion order:\n%s", out)
+	}
+}
+
+func TestSortedDesignsStable(t *testing.T) {
+	// Same (workload, design) keys must keep their relative order: variant
+	// sweeps rely on it.
+	rs := []*harness.Result{
+		res("w", param.Tvarak, "8-way", 1, 1),
+		res("a", param.Tvarak, "", 1, 1),
+		res("w", param.Tvarak, "2-way", 1, 1),
+		res("w", param.Baseline, "", 1, 1),
+	}
+	harness.SortedDesigns(rs)
+	want := []string{"a/Tvarak", "w/Baseline", "w/Tvarak[8-way]", "w/Tvarak[2-way]"}
+	for i, r := range rs {
+		if got := r.Workload + "/" + r.Label(); got != want[i] {
+			t.Fatalf("order[%d] = %q, want %q (full: %v)", i, got, want, rs)
+		}
+	}
+}
+
+// TestTelemetryIsReadOnly is the golden acceptance test: attaching the
+// sampler and tracer must leave the simulated results — and therefore the
+// rendered tables — byte-identical to an unobserved run.
+func TestTelemetryIsReadOnly(t *testing.T) {
+	cfg := param.SmallTest(param.Tvarak)
+	plain, err := harness.Run(cfg, &toyWorkload{name: "toy", stores: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	tr := obs.NewJSONL(&trace, 0)
+	observed, err := harness.RunObserved(cfg, &toyWorkload{name: "toy", stores: 400},
+		harness.Observation{SampleEvery: 5_000, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Stats != observed.Stats {
+		t.Errorf("telemetry perturbed the run:\nplain:    %+v\nobserved: %+v", plain.Stats, observed.Stats)
+	}
+	tabA, tabB := &harness.Table{Title: "g"}, &harness.Table{Title: "g"}
+	tabA.Add(plain)
+	tabB.Add(observed)
+	if tabA.String() != tabB.String() {
+		t.Errorf("tables differ:\n%s\nvs\n%s", tabA, tabB)
+	}
+
+	// And the telemetry itself must be non-trivial: the series deltas sum
+	// back to the aggregate, and the trace saw the run's events.
+	if len(observed.Series) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	var sum uint64
+	for _, s := range observed.Series {
+		sum += s.Delta.Cache[0].Total() + s.Delta.Cache[1].Total() +
+			s.Delta.Cache[2].Total() + s.Delta.Cache[3].Total()
+	}
+	if sum != observed.Stats.CacheTotal() {
+		t.Errorf("series cache accesses = %d, want aggregate %d", sum, observed.Stats.CacheTotal())
+	}
+	if tr.Written() == 0 || !strings.Contains(trace.String(), `"ev":"writeback"`) {
+		t.Errorf("trace recorded no writebacks (%d events)", tr.Written())
+	}
+}
+
+func TestExportRunsCarriesOverheadsAndSeries(t *testing.T) {
+	tab := &harness.Table{}
+	tab.Add(res("w", param.Baseline, "", 1000, 200))
+	tv := res("w", param.Tvarak, "", 1100, 300)
+	tv.Series = []obs.Sample{{Cycle: 500}, {Cycle: 1100}}
+	tab.Add(tv)
+	recs := tab.ExportRuns("exp-x")
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	got := recs[1]
+	if got.Experiment != "exp-x" || got.Design != "Tvarak" ||
+		got.RuntimeOverhead < 0.099 || got.RuntimeOverhead > 0.101 ||
+		len(got.Series) != 2 {
+		t.Errorf("record = %+v", got)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Delta is one per-metric difference between two exports' matching runs.
+type Delta struct {
+	Run    string  // RunRecord.Label() of the run
+	Metric string  // metric name (see the CSV header)
+	Old    float64 // value in the old export
+	New    float64 // value in the new export
+	Rel    float64 // (New-Old)/Old; +Inf when Old is 0 and New is not
+}
+
+// Report is the outcome of comparing two exports: runs present in only one
+// of them, and every metric whose relative change exceeded the tolerance.
+type Report struct {
+	Matched int      // runs present in both exports
+	Missing []string // runs in the old export only
+	Extra   []string // runs in the new export only
+	Deltas  []Delta
+}
+
+// Clean reports whether the exports matched within tolerance: same run
+// set, no metric beyond the tolerance.
+func (r *Report) Clean() bool {
+	return len(r.Missing) == 0 && len(r.Extra) == 0 && len(r.Deltas) == 0
+}
+
+// String renders the report, one line per finding, ordered by the old
+// export's run order (then the new export's for extra runs).
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compare: %d run(s) matched, %d missing, %d extra, %d metric delta(s)\n",
+		r.Matched, len(r.Missing), len(r.Extra), len(r.Deltas))
+	for _, m := range r.Missing {
+		fmt.Fprintf(&b, "  missing in new export: %s\n", m)
+	}
+	for _, e := range r.Extra {
+		fmt.Fprintf(&b, "  extra in new export: %s\n", e)
+	}
+	for _, d := range r.Deltas {
+		if math.IsInf(d.Rel, 1) {
+			fmt.Fprintf(&b, "  %s: %s %s -> %s (was zero)\n",
+				d.Run, d.Metric, formatFloat(d.Old), formatFloat(d.New))
+			continue
+		}
+		fmt.Fprintf(&b, "  %s: %s %s -> %s (%+.2f%%)\n",
+			d.Run, d.Metric, formatFloat(d.Old), formatFloat(d.New), d.Rel*100)
+	}
+	return b.String()
+}
+
+// Compare diffs two exports run by run and metric by metric. tol is the
+// relative tolerance: a metric is reported when |new-old| > tol*|old|
+// (a change from zero to non-zero is always reported). tol 0 demands exact
+// equality, which deterministic same-binary runs satisfy — ci.sh gates on
+// that.
+func Compare(old, new *Export, tol float64) *Report {
+	rep := &Report{}
+	newByKey := make(map[string]*RunRecord, len(new.Runs))
+	for i := range new.Runs {
+		newByKey[new.Runs[i].Key()] = &new.Runs[i]
+	}
+	seen := make(map[string]bool, len(old.Runs))
+	for i := range old.Runs {
+		o := &old.Runs[i]
+		seen[o.Key()] = true
+		n, ok := newByKey[o.Key()]
+		if !ok {
+			rep.Missing = append(rep.Missing, o.Label())
+			continue
+		}
+		rep.Matched++
+		for _, m := range metrics {
+			ov, nv := m.Get(&o.Stats), m.Get(&n.Stats)
+			if ov == nv {
+				continue
+			}
+			var rel float64
+			if ov == 0 {
+				rel = math.Inf(1)
+			} else {
+				rel = (nv - ov) / ov
+			}
+			if ov != 0 && math.Abs(nv-ov) <= tol*math.Abs(ov) {
+				continue
+			}
+			rep.Deltas = append(rep.Deltas, Delta{
+				Run: o.Label(), Metric: m.Name, Old: ov, New: nv, Rel: rel,
+			})
+		}
+	}
+	for i := range new.Runs {
+		if !seen[new.Runs[i].Key()] {
+			rep.Extra = append(rep.Extra, new.Runs[i].Label())
+		}
+	}
+	return rep
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tvarak/internal/stats"
+)
+
+// SchemaVersion is the version of the machine-readable export schema.
+// Bump it whenever a field is renamed, removed, or changes meaning; adding
+// new optional fields is backward compatible and needs no bump.
+const SchemaVersion = 1
+
+// RunRecord is one run of an export: the identifying labels, the full
+// aggregate statistics, the overheads relative to the run's in-table
+// baseline, and (when sampling was enabled) the epoch time series.
+type RunRecord struct {
+	Experiment string `json:"experiment,omitempty"`
+	Workload   string `json:"workload"`
+	Design     string `json:"design"`
+	Variant    string `json:"variant,omitempty"`
+
+	// RuntimeOverhead and EnergyOverhead are fractions relative to the
+	// same table's Baseline run of the same workload (0.03 = 3% slower);
+	// 0 when no baseline was present.
+	RuntimeOverhead float64 `json:"runtimeOverhead"`
+	EnergyOverhead  float64 `json:"energyOverhead"`
+
+	Stats  stats.Stats `json:"stats"`
+	Series []Sample    `json:"series,omitempty"`
+}
+
+// Key identifies the record within an export: exports are compared run by
+// run on this key.
+func (r *RunRecord) Key() string {
+	return r.Experiment + "|" + r.Workload + "|" + r.Design + "|" + r.Variant
+}
+
+// Label is the human-readable form of Key.
+func (r *RunRecord) Label() string {
+	l := r.Workload + " " + r.Design
+	if r.Variant != "" {
+		l += "[" + r.Variant + "]"
+	}
+	if r.Experiment != "" {
+		l += " (" + r.Experiment + ")"
+	}
+	return l
+}
+
+// Export is the top-level machine-readable result document.
+type Export struct {
+	Schema int         `json:"schema"`
+	Tool   string      `json:"tool,omitempty"`
+	Runs   []RunRecord `json:"runs"`
+}
+
+// NewExport returns an empty export at the current schema version.
+func NewExport(tool string) *Export {
+	return &Export{Schema: SchemaVersion, Tool: tool}
+}
+
+// WriteJSON renders the export as indented JSON. The output is
+// deterministic: field order is fixed by the struct definitions and no
+// wall-clock values are included, so two runs of the same deterministic
+// simulation produce byte-identical documents.
+func (x *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(x)
+}
+
+// ReadJSON parses and validates an export document. A schema version
+// other than SchemaVersion is an error: the compare mode refuses to
+// silently compare across schema changes.
+func ReadJSON(r io.Reader) (*Export, error) {
+	var x Export
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&x); err != nil {
+		return nil, fmt.Errorf("obs: parsing export: %w", err)
+	}
+	if x.Schema != SchemaVersion {
+		return nil, fmt.Errorf("obs: export schema v%d, this build reads v%d", x.Schema, SchemaVersion)
+	}
+	return &x, nil
+}
+
+// metric is one comparable scalar of a run's aggregate statistics. The
+// list doubles as the CSV column order, so it must stay append-only within
+// a schema version.
+type metric struct {
+	Name string
+	Get  func(*stats.Stats) float64
+}
+
+// metrics is the ordered list of per-run scalars the CSV export and the
+// compare mode cover.
+var metrics = []metric{
+	{"cycles", func(s *stats.Stats) float64 { return float64(s.Cycles) }},
+	{"energy_pj", func(s *stats.Stats) float64 { return s.EnergyPJ }},
+	{"nvm_data_reads", func(s *stats.Stats) float64 { return float64(s.NVM.DataReads) }},
+	{"nvm_data_writes", func(s *stats.Stats) float64 { return float64(s.NVM.DataWrites) }},
+	{"nvm_red_reads", func(s *stats.Stats) float64 { return float64(s.NVM.RedReads) }},
+	{"nvm_red_writes", func(s *stats.Stats) float64 { return float64(s.NVM.RedWrites) }},
+	{"dram_reads", func(s *stats.Stats) float64 { return float64(s.DRAMReads) }},
+	{"dram_writes", func(s *stats.Stats) float64 { return float64(s.DRAMWrites) }},
+	{"l1_hits", func(s *stats.Stats) float64 { return float64(s.Cache[stats.L1].Hits) }},
+	{"l1_misses", func(s *stats.Stats) float64 { return float64(s.Cache[stats.L1].Misses) }},
+	{"l2_hits", func(s *stats.Stats) float64 { return float64(s.Cache[stats.L2].Hits) }},
+	{"l2_misses", func(s *stats.Stats) float64 { return float64(s.Cache[stats.L2].Misses) }},
+	{"llc_hits", func(s *stats.Stats) float64 { return float64(s.Cache[stats.LLC].Hits) }},
+	{"llc_misses", func(s *stats.Stats) float64 { return float64(s.Cache[stats.LLC].Misses) }},
+	{"tvarak_hits", func(s *stats.Stats) float64 { return float64(s.Cache[stats.TvarakCache].Hits) }},
+	{"tvarak_misses", func(s *stats.Stats) float64 { return float64(s.Cache[stats.TvarakCache].Misses) }},
+	{"compute_cyc", func(s *stats.Stats) float64 { return float64(s.ComputeCycles) }},
+	{"load_stall_cyc", func(s *stats.Stats) float64 { return float64(s.LoadStallCyc) }},
+	{"store_issue_cyc", func(s *stats.Stats) float64 { return float64(s.StoreIssueCyc) }},
+	{"loads", func(s *stats.Stats) float64 { return float64(s.Loads) }},
+	{"stores", func(s *stats.Stats) float64 { return float64(s.Stores) }},
+	{"verify_extra_cyc", func(s *stats.Stats) float64 { return float64(s.VerifyExtraCyc) }},
+	{"fills", func(s *stats.Stats) float64 { return float64(s.Fills) }},
+	{"writebacks", func(s *stats.Stats) float64 { return float64(s.Writebacks) }},
+	{"diff_stashes", func(s *stats.Stats) float64 { return float64(s.DiffStashes) }},
+	{"diff_evictions", func(s *stats.Stats) float64 { return float64(s.DiffEvictions) }},
+	{"red_invalidations", func(s *stats.Stats) float64 { return float64(s.RedInvalidations) }},
+	{"upper_invalidations", func(s *stats.Stats) float64 { return float64(s.UpperInvalidations) }},
+	{"corruptions", func(s *stats.Stats) float64 { return float64(s.CorruptionsDetected) }},
+	{"recoveries", func(s *stats.Stats) float64 { return float64(s.Recoveries) }},
+	{"ecc_errors", func(s *stats.Stats) float64 { return float64(s.ECCErrors) }},
+}
+
+// WriteCSV renders the aggregate metrics as CSV: one header row, then one
+// row per run. The time series is JSON-only; the CSV carries the schema
+// version in its first column so downstream tooling can validate it.
+func (x *Export) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"schema", "experiment", "workload", "design", "variant",
+		"runtime_overhead", "energy_overhead"}
+	for _, m := range metrics {
+		header = append(header, m.Name)
+	}
+	header = append(header, "samples")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range x.Runs {
+		r := &x.Runs[i]
+		row := []string{
+			strconv.Itoa(x.Schema), r.Experiment, r.Workload, r.Design, r.Variant,
+			formatFloat(r.RuntimeOverhead), formatFloat(r.EnergyOverhead),
+		}
+		for _, m := range metrics {
+			row = append(row, formatFloat(m.Get(&r.Stats)))
+		}
+		row = append(row, strconv.Itoa(len(r.Series)))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatFloat renders v with the shortest exact representation, printing
+// integral values without an exponent or trailing zeros so counter columns
+// stay readable.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

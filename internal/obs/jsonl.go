@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DefaultMaxEvents bounds a JSONL tracer that was built without an explicit
+// limit: enough for every event of a reproduction-scale experiment cell,
+// small enough that a runaway full-scale trace cannot exhaust memory or
+// disk (≈ a few hundred MB of JSONL at most).
+const DefaultMaxEvents = 1 << 22
+
+// JSONL writes one JSON object per event to an io.Writer through a bounded
+// buffer. After MaxEvents events further events are counted and dropped
+// rather than written, so tracing a pathologically long run degrades to a
+// drop counter instead of unbounded output. Trace is safe for concurrent
+// use: the parallel harness shares one JSONL tracer across cells, tagging
+// each event with its cell label via WithSource.
+//
+// Close flushes the buffer and appends a trailer object
+// ({"ev":"trace-end",...}) recording the written and dropped totals.
+type JSONL struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	max     uint64
+	written uint64
+	dropped uint64
+	err     error
+}
+
+// NewJSONL builds a JSONL tracer over w. maxEvents bounds how many events
+// are written before the tracer starts dropping; 0 selects
+// DefaultMaxEvents, and a negative value disables the bound.
+func NewJSONL(w io.Writer, maxEvents int64) *JSONL {
+	var max uint64
+	switch {
+	case maxEvents == 0:
+		max = DefaultMaxEvents
+	case maxEvents > 0:
+		max = uint64(maxEvents)
+	default:
+		max = ^uint64(0)
+	}
+	return &JSONL{w: bufio.NewWriterSize(w, 1<<16), max: max}
+}
+
+// Trace implements Tracer.
+func (t *JSONL) Trace(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if t.written >= t.max {
+		t.dropped++
+		return
+	}
+	if ev.Src != "" {
+		_, t.err = fmt.Fprintf(t.w, "{\"cyc\":%d,\"ev\":%q,\"addr\":\"%#x\",\"aux\":%d,\"src\":%q}\n",
+			ev.Cycle, ev.Kind.String(), ev.Addr, ev.Aux, ev.Src)
+	} else {
+		_, t.err = fmt.Fprintf(t.w, "{\"cyc\":%d,\"ev\":%q,\"addr\":\"%#x\",\"aux\":%d}\n",
+			ev.Cycle, ev.Kind.String(), ev.Addr, ev.Aux)
+	}
+	t.written++
+}
+
+// Written returns how many events have been written so far.
+func (t *JSONL) Written() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.written
+}
+
+// Dropped returns how many events were discarded after the bound was hit.
+func (t *JSONL) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Close writes the trailer line and flushes the buffer. It does not close
+// the underlying writer (the caller owns the file handle).
+func (t *JSONL) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		_, t.err = fmt.Fprintf(t.w, "{\"ev\":\"trace-end\",\"events\":%d,\"dropped\":%d}\n",
+			t.written, t.dropped)
+	}
+	if ferr := t.w.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	return t.err
+}

@@ -1,0 +1,122 @@
+// Package obs is the simulation telemetry layer: structured event tracing
+// with a zero-cost disabled default, an epoch sampler that turns the
+// engine's aggregate statistics into a per-run time series, and a versioned
+// machine-readable export schema (JSON/CSV) with a compare mode for
+// regression gating.
+//
+// The package is a leaf: it depends only on internal/stats, so the
+// simulation engine (internal/sim), the TVARAK controller (internal/core)
+// and the harness can all emit telemetry through it without import cycles.
+//
+// Tracing and sampling are strictly read-only observers — they never touch
+// the statistics or the simulated machine state — so a run with telemetry
+// attached produces byte-identical experiment tables to a run without
+// (the harness tests gate exactly that).
+package obs
+
+// EventKind identifies one traced simulation event.
+type EventKind uint8
+
+const (
+	// EvFill is an NVM→LLC data-line fill (internal/sim); Aux carries the
+	// extra verification latency the redundancy controller added beyond
+	// the data read.
+	EvFill EventKind = iota
+	// EvWriteback is an LLC→NVM data-line writeback (internal/sim).
+	EvWriteback
+	// EvLLCEvict is an eviction from the LLC data partition
+	// (internal/sim); Aux is 1 when the victim was dirty, 0 when clean.
+	EvLLCEvict
+	// EvDiffStash records an old-data copy saved into the diff partition
+	// on a clean→dirty transition (internal/core).
+	EvDiffStash
+	// EvDiffEvict is a diff-partition eviction (internal/core).
+	EvDiffEvict
+	// EvEarlyWriteback is the early data writeback a diff eviction forces
+	// (internal/core, §III-D of the paper).
+	EvEarlyWriteback
+	// EvRedInval is an on-controller redundancy-cache sharing
+	// invalidation (internal/core).
+	EvRedInval
+	// EvCorruption is a checksum-verification mismatch (internal/core);
+	// Aux is 1 for page-granular (naive-mode) detections, 0 for
+	// DAX-CL-checksum detections.
+	EvCorruption
+	// EvRecovery is a successful cross-DIMM parity reconstruction
+	// (internal/core); Aux carries the recovery latency in cycles.
+	EvRecovery
+	numEventKinds
+)
+
+// eventNames are the stable wire names used in the JSONL trace format.
+// They are part of the export contract: renaming one is a schema change.
+var eventNames = [numEventKinds]string{
+	EvFill:           "fill",
+	EvWriteback:      "writeback",
+	EvLLCEvict:       "llc-evict",
+	EvDiffStash:      "diff-stash",
+	EvDiffEvict:      "diff-evict",
+	EvEarlyWriteback: "early-writeback",
+	EvRedInval:       "red-inval",
+	EvCorruption:     "corruption",
+	EvRecovery:       "recovery",
+}
+
+// String returns the stable wire name of the kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one traced simulation event. Cycle is the simulated cycle the
+// event occurred at, Addr the line address involved, and Aux an
+// event-specific payload (see the EventKind constants). Src labels the
+// originating run when several simulations share one tracer (the harness
+// tags each cell's events with its workload/design/variant label).
+type Event struct {
+	Cycle uint64
+	Kind  EventKind
+	Addr  uint64
+	Aux   uint64
+	Src   string
+}
+
+// Tracer receives simulation events. Implementations must be safe for use
+// from a single simulation goroutine; tracers shared across concurrently
+// running simulations (the parallel harness) must be safe for concurrent
+// Trace calls — JSONL is.
+//
+// The disabled default is a nil Tracer on the engine: hook sites guard with
+// a nil check, so tracing costs one predictable branch when off.
+type Tracer interface {
+	Trace(ev Event)
+}
+
+// Nop is an explicit no-op Tracer for callers that want a non-nil value.
+type Nop struct{}
+
+// Trace discards the event.
+func (Nop) Trace(Event) {}
+
+// sourced wraps a Tracer, stamping every event with a source label.
+type sourced struct {
+	t   Tracer
+	src string
+}
+
+func (s sourced) Trace(ev Event) {
+	ev.Src = s.src
+	s.t.Trace(ev)
+}
+
+// WithSource returns a Tracer that forwards to t with Src set to src on
+// every event. A nil t yields nil, so the zero-cost disabled path is
+// preserved.
+func WithSource(t Tracer, src string) Tracer {
+	if t == nil {
+		return nil
+	}
+	return sourced{t: t, src: src}
+}

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"tvarak/internal/stats"
+)
+
+func TestSamplerRecordsEpochDeltas(t *testing.T) {
+	s := NewSampler(100)
+	var st stats.Stats
+
+	// First phase boundary before the epoch boundary: no sample.
+	st.Loads = 10
+	s.Observe(50, &st)
+	if len(s.Samples()) != 0 {
+		t.Fatalf("sampled before epoch boundary: %v", s.Samples())
+	}
+
+	// Crossing 100 records the delta since the baseline.
+	st.Loads = 25
+	st.NVM.DataReads = 3
+	s.Observe(120, &st)
+	if n := len(s.Samples()); n != 1 {
+		t.Fatalf("samples = %d, want 1", n)
+	}
+	got := s.Samples()[0]
+	if got.Cycle != 120 || got.Delta.Loads != 25 || got.Delta.NVM.DataReads != 3 || got.Delta.Cycles != 120 {
+		t.Errorf("sample = %+v", got)
+	}
+
+	// The next epoch's delta covers only the new activity.
+	st.Loads = 40
+	s.Observe(230, &st)
+	got = s.Samples()[1]
+	if got.Delta.Loads != 15 || got.Delta.NVM.DataReads != 0 || got.Delta.Cycles != 110 {
+		t.Errorf("second sample = %+v", got)
+	}
+
+	// Finish closes the trailing partial epoch.
+	st.Stores = 7
+	s.Finish(260, &st)
+	got = s.Samples()[2]
+	if got.Cycle != 260 || got.Delta.Stores != 7 || got.Delta.Cycles != 30 {
+		t.Errorf("final sample = %+v", got)
+	}
+}
+
+func TestSamplerDeltasSumToAggregate(t *testing.T) {
+	s := NewSampler(64)
+	var st stats.Stats
+	for cyc := uint64(10); cyc < 1000; cyc += 37 {
+		st.Loads += cyc % 5
+		st.Stores += cyc % 3
+		st.EnergyPJ += float64(cyc % 7)
+		st.AddCache(stats.LLC, cyc%2 == 0, 1)
+		s.Observe(cyc, &st)
+	}
+	st.Writebacks = 13
+	s.Finish(1000, &st)
+
+	var sum stats.Stats
+	for _, smp := range s.Samples() {
+		sum = sum.Add(smp.Delta)
+	}
+	want := st
+	want.Cycles = 1000 // epoch lengths sum to the final cycle count
+	if math.Abs(sum.EnergyPJ-want.EnergyPJ) > 1e-9 {
+		t.Errorf("energy sum = %v, want %v", sum.EnergyPJ, want.EnergyPJ)
+	}
+	sum.EnergyPJ = want.EnergyPJ
+	if sum != want {
+		t.Errorf("series sum = %+v\nwant       %+v", sum, want)
+	}
+}
+
+func TestSamplerFinishFoldsIntoSameCycleSample(t *testing.T) {
+	s := NewSampler(100)
+	var st stats.Stats
+	st.Loads = 5
+	s.Observe(100, &st)
+	st.Writebacks = 2 // drain activity at the same final cycle
+	s.Finish(100, &st)
+	if n := len(s.Samples()); n != 1 {
+		t.Fatalf("samples = %d, want 1 (drain should fold into the last epoch)", n)
+	}
+	d := s.Samples()[0].Delta
+	if d.Loads != 5 || d.Writebacks != 2 || d.Cycles != 100 {
+		t.Errorf("folded sample = %+v", d)
+	}
+}
+
+func TestSamplerRebase(t *testing.T) {
+	s := NewSampler(100)
+	var st stats.Stats
+	st.Loads = 1000 // warm-up traffic
+	s.Rebase(st)
+	st.Loads = 1010
+	s.Observe(150, &st)
+	if d := s.Samples()[0].Delta.Loads; d != 10 {
+		t.Errorf("post-rebase delta = %d, want 10", d)
+	}
+}
+
+func TestJSONLWritesValidEventLines(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf, 0)
+	tr.Trace(Event{Cycle: 7, Kind: EvFill, Addr: 0x1000, Aux: 3})
+	tr.Trace(Event{Cycle: 9, Kind: EvCorruption, Addr: 0x2040, Src: "redis/set/Tvarak"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 2 events + trailer", len(lines))
+	}
+	if lines[0]["ev"] != "fill" || lines[0]["cyc"] != float64(7) || lines[0]["addr"] != "0x1000" {
+		t.Errorf("fill line = %v", lines[0])
+	}
+	if lines[1]["src"] != "redis/set/Tvarak" || lines[1]["ev"] != "corruption" {
+		t.Errorf("corruption line = %v", lines[1])
+	}
+	if lines[2]["ev"] != "trace-end" || lines[2]["events"] != float64(2) {
+		t.Errorf("trailer = %v", lines[2])
+	}
+}
+
+func TestJSONLBoundDropsAndCounts(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONL(&buf, 3)
+	for i := 0; i < 10; i++ {
+		tr.Trace(Event{Cycle: uint64(i), Kind: EvWriteback})
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Written() != 3 || tr.Dropped() != 7 {
+		t.Errorf("written=%d dropped=%d, want 3/7", tr.Written(), tr.Dropped())
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 4 {
+		t.Errorf("output lines = %d, want 3 events + trailer", n)
+	}
+	if !strings.Contains(buf.String(), `"dropped":7`) {
+		t.Errorf("trailer missing drop count: %s", buf.String())
+	}
+}
+
+func TestWithSourceStampsAndPreservesNil(t *testing.T) {
+	if WithSource(nil, "x") != nil {
+		t.Error("WithSource(nil) should stay nil (zero-cost disabled path)")
+	}
+	var got Event
+	rec := tracerFunc(func(ev Event) { got = ev })
+	WithSource(rec, "cell-7").Trace(Event{Kind: EvDiffStash, Addr: 42})
+	if got.Src != "cell-7" || got.Addr != 42 {
+		t.Errorf("stamped event = %+v", got)
+	}
+}
+
+type tracerFunc func(Event)
+
+func (f tracerFunc) Trace(ev Event) { f(ev) }
+
+func TestEventKindNamesAreStable(t *testing.T) {
+	// The wire names are part of the trace schema; this pins them.
+	want := map[EventKind]string{
+		EvFill: "fill", EvWriteback: "writeback", EvLLCEvict: "llc-evict",
+		EvDiffStash: "diff-stash", EvDiffEvict: "diff-evict",
+		EvEarlyWriteback: "early-writeback", EvRedInval: "red-inval",
+		EvCorruption: "corruption", EvRecovery: "recovery",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+}
+
+func testExport() *Export {
+	x := NewExport("test")
+	var s1, s2 stats.Stats
+	s1.Cycles = 1000
+	s1.EnergyPJ = 250.5
+	s1.NVM.DataReads = 40
+	s2.Cycles = 1100
+	s2.NVM.RedWrites = 9
+	x.Runs = []RunRecord{
+		{Experiment: "e1", Workload: "w", Design: "Baseline", Stats: s1},
+		{Experiment: "e1", Workload: "w", Design: "Tvarak", Variant: "2-way",
+			RuntimeOverhead: 0.1, Stats: s2,
+			Series: []Sample{{Cycle: 500, Delta: s1}, {Cycle: 1100, Delta: s2}}},
+	}
+	return x
+}
+
+func TestExportJSONRoundTripAndDeterminism(t *testing.T) {
+	x := testExport()
+	var a, b bytes.Buffer
+	if err := x.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two serializations of the same export differ")
+	}
+	back, err := ReadJSON(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion || len(back.Runs) != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Runs[1].Stats.NVM.RedWrites != 9 || len(back.Runs[1].Series) != 2 {
+		t.Errorf("round trip mangled run: %+v", back.Runs[1])
+	}
+}
+
+func TestReadJSONRejectsWrongSchema(t *testing.T) {
+	_, err := ReadJSON(strings.NewReader(`{"schema": 999, "runs": []}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong-schema read error = %v", err)
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testExport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "schema,experiment,workload,design,variant,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Baseline") || !strings.Contains(lines[1], "250.5") {
+		t.Errorf("baseline row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "1,e1,w,Tvarak,2-way,") || !strings.HasSuffix(lines[2], ",2") {
+		t.Errorf("tvarak row = %q (want schema/variant columns and trailing sample count)", lines[2])
+	}
+}
+
+func TestCompareIdenticalIsClean(t *testing.T) {
+	rep := Compare(testExport(), testExport(), 0)
+	if !rep.Clean() {
+		t.Errorf("identical exports not clean:\n%s", rep)
+	}
+	if rep.Matched != 2 {
+		t.Errorf("matched = %d, want 2", rep.Matched)
+	}
+}
+
+func TestCompareFlagsInjectedDelta(t *testing.T) {
+	old, cur := testExport(), testExport()
+	cur.Runs[1].Stats.Cycles = 1210 // +10%
+	cur.Runs[1].Stats.NVM.RedWrites = 10
+
+	rep := Compare(old, cur, 0)
+	if rep.Clean() || len(rep.Deltas) != 2 {
+		t.Fatalf("deltas = %+v, want cycles and nvm_red_writes", rep.Deltas)
+	}
+	d := rep.Deltas[0]
+	if d.Metric != "cycles" || d.Old != 1100 || d.New != 1210 || math.Abs(d.Rel-0.1) > 1e-9 {
+		t.Errorf("cycles delta = %+v", d)
+	}
+	if !strings.Contains(rep.String(), "nvm_red_writes") {
+		t.Errorf("report missing metric name:\n%s", rep)
+	}
+
+	// Within tolerance the same change is accepted.
+	if rep := Compare(old, cur, 0.2); !rep.Clean() {
+		t.Errorf("10%% delta should pass 20%% tolerance:\n%s", rep)
+	}
+}
+
+func TestCompareZeroToNonzeroAlwaysReported(t *testing.T) {
+	old, cur := testExport(), testExport()
+	cur.Runs[0].Stats.CorruptionsDetected = 1
+	rep := Compare(old, cur, 0.5)
+	if rep.Clean() || rep.Deltas[0].Metric != "corruptions" || !math.IsInf(rep.Deltas[0].Rel, 1) {
+		t.Errorf("zero→nonzero not reported: %+v", rep.Deltas)
+	}
+}
+
+func TestCompareMissingAndExtraRuns(t *testing.T) {
+	old, cur := testExport(), testExport()
+	cur.Runs = cur.Runs[:1]
+	cur.Runs = append(cur.Runs, RunRecord{Experiment: "e2", Workload: "new", Design: "Tvarak"})
+	rep := Compare(old, cur, 0)
+	if len(rep.Missing) != 1 || len(rep.Extra) != 1 || rep.Clean() {
+		t.Errorf("missing=%v extra=%v", rep.Missing, rep.Extra)
+	}
+}

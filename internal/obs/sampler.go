@@ -1,0 +1,98 @@
+package obs
+
+import "tvarak/internal/stats"
+
+// Sample is one epoch of a run's time series: the simulated cycle the epoch
+// ended at and the per-counter deltas accumulated within it. Delta.Cycles
+// holds the epoch's length in cycles (end minus previous end), so the
+// samples' deltas sum to the run's aggregate Stats.
+type Sample struct {
+	Cycle uint64      `json:"cycle"`
+	Delta stats.Stats `json:"delta"`
+}
+
+// Sampler turns the engine's monotonically growing Stats into a per-epoch
+// time series. The engine offers the current statistics at every phase
+// boundary (Observe) and once after the drain (Finish); the sampler records
+// a delta snapshot whenever the clock crosses the next multiple of Every.
+// Epoch boundaries therefore land on phase boundaries and are deterministic
+// for a deterministic run.
+//
+// A Sampler only reads the statistics — attaching one never changes a
+// run's results.
+type Sampler struct {
+	// Every is the epoch length in cycles. Boundaries snap outward to the
+	// engine's phase boundaries, so the effective epoch is
+	// max(Every, PhaseCyc).
+	Every uint64
+
+	last      stats.Stats
+	lastCycle uint64
+	next      uint64
+	samples   []Sample
+}
+
+// NewSampler builds a sampler with the given epoch length in cycles.
+// every must be positive.
+func NewSampler(every uint64) *Sampler {
+	if every == 0 {
+		panic("obs: NewSampler with zero epoch length")
+	}
+	return &Sampler{Every: every, next: every}
+}
+
+// Rebase resets the sampler's baseline to st at cycle 0, discarding nothing
+// already sampled. The engine calls it when the sampler is attached, so a
+// sampler attached after warm-up measures only the region that follows.
+func (s *Sampler) Rebase(st stats.Stats) {
+	s.last = st
+	s.lastCycle = 0
+	s.next = s.Every
+}
+
+// Observe offers the current statistics at a phase boundary ending at
+// cycle. It records one sample if the clock crossed the next epoch
+// boundary.
+func (s *Sampler) Observe(cycle uint64, st *stats.Stats) {
+	if cycle < s.next {
+		return
+	}
+	s.record(cycle, st)
+	for s.next <= cycle {
+		s.next += s.Every
+	}
+}
+
+// Finish closes the series at the run's final cycle count, recording any
+// trailing activity since the last epoch boundary (including the drain's
+// writebacks). The engine calls it once per Run, after the drain.
+func (s *Sampler) Finish(cycle uint64, st *stats.Stats) {
+	if st.Delta(s.last) == (stats.Stats{}) && cycle == s.lastCycle {
+		return
+	}
+	if n := len(s.samples); n > 0 && s.samples[n-1].Cycle == cycle {
+		// The drain added no cycles beyond the last boundary: fold the
+		// trailing counters into the final epoch instead of emitting a
+		// zero-length one.
+		d := st.Delta(s.last)
+		d.Cycles = 0
+		s.samples[n-1].Delta = s.samples[n-1].Delta.Add(d)
+		s.last = *st
+		return
+	}
+	s.record(cycle, st)
+}
+
+// record appends the delta since the previous snapshot as one sample ending
+// at cycle.
+func (s *Sampler) record(cycle uint64, st *stats.Stats) {
+	d := st.Delta(s.last)
+	d.Cycles = cycle - s.lastCycle
+	s.samples = append(s.samples, Sample{Cycle: cycle, Delta: d})
+	s.last = *st
+	s.lastCycle = cycle
+}
+
+// Samples returns the recorded series. The slice is owned by the sampler;
+// callers that outlive it should copy.
+func (s *Sampler) Samples() []Sample { return s.samples }

@@ -145,6 +145,9 @@ func (e *Engine) Run(workers []func(*Core)) {
 		if !alive {
 			break
 		}
+		if e.Sampler != nil {
+			e.Sampler.Observe(e.maxClock(), e.St)
+		}
 		phaseEnd += phase
 	}
 	e.drain()
@@ -218,6 +221,12 @@ func (e *Engine) drain() {
 		e.Red.Drain(now)
 	}
 	e.St.Cycles = max(e.maxClock(), max(e.NVM.BusyUntil(), e.DRAM.BusyUntil()))
+	if e.Sampler != nil {
+		// Close the epoch series at the run's final cycle so the drain's
+		// writebacks land in the last sample and the series sums to the
+		// aggregate statistics.
+		e.Sampler.Finish(e.St.Cycles, e.St)
+	}
 }
 
 // flushPrivate pushes core c's dirty L1 lines into L2 and dirty L2 lines

@@ -22,6 +22,7 @@ import (
 	"tvarak/internal/cache"
 	"tvarak/internal/geom"
 	"tvarak/internal/nvm"
+	"tvarak/internal/obs"
 	"tvarak/internal/param"
 	"tvarak/internal/stats"
 )
@@ -65,6 +66,14 @@ type Engine struct {
 	Cores []*Core
 	Red   RedundancyController
 
+	// Tracer, when non-nil, receives structured events (fills, writebacks,
+	// LLC evictions here; controller events from internal/core). The nil
+	// default keeps every hook site to one predictable branch.
+	Tracer obs.Tracer
+	// Sampler, when non-nil, snapshots statistics deltas at phase
+	// boundaries into a per-run time series. Attach via AttachSampler.
+	Sampler *obs.Sampler
+
 	dataWays int
 	lineBuf  []byte
 }
@@ -105,6 +114,27 @@ func New(cfg *param.Config) (*Engine, error) {
 
 // SetRedundancy attaches the hardware redundancy controller.
 func (e *Engine) SetRedundancy(r RedundancyController) { e.Red = r }
+
+// AttachSampler attaches (or, with nil, detaches) an epoch sampler,
+// rebasing it on the current statistics so it measures only the region
+// that follows. Attach after ResetMeasurement to sample the fixed-work
+// region alone.
+func (e *Engine) AttachSampler(s *obs.Sampler) {
+	if s != nil {
+		s.Rebase(*e.St)
+	}
+	e.Sampler = s
+}
+
+// Emit forwards one event to the attached tracer. It is the hook-point
+// helper for the engine and the redundancy controller; with no tracer
+// attached it costs a single branch.
+func (e *Engine) Emit(kind obs.EventKind, cycle, addr, aux uint64) {
+	if e.Tracer == nil {
+		return
+	}
+	e.Tracer.Trace(obs.Event{Kind: kind, Cycle: cycle, Addr: addr, Aux: aux})
+}
 
 // DataWays returns the LLC ways available to application data.
 func (e *Engine) DataWays() int { return e.dataWays }
@@ -345,11 +375,13 @@ func (e *Engine) fillLLC(c *Core, la uint64, lat *uint64) *cache.Line {
 	*lat += complete - issue
 	if e.Geo.IsNVM(la) {
 		e.St.Fills++
+		var extra uint64
 		if e.Red != nil {
-			extra := e.Red.OnFill(issue, complete, la, buf)
+			extra = e.Red.OnFill(issue, complete, la, buf)
 			e.St.VerifyExtraCyc += extra
 			*lat += extra
 		}
+		e.Emit(obs.EvFill, complete+extra, la, extra)
 	}
 	b := e.Bank(la)
 	v := b.Victim(la, 0, e.dataWays)
@@ -405,6 +437,13 @@ func (e *Engine) evictLLC(now uint64, v *cache.Line) {
 		e.invalidatePrivate(d, v.Addr)
 		e.St.AddCache(stats.L2, true, e.Cfg.L2.HitEnergyPJ)
 	}
+	if e.Geo.IsNVM(v.Addr) {
+		var dirty uint64
+		if v.Dirty() {
+			dirty = 1
+		}
+		e.Emit(obs.EvLLCEvict, now, v.Addr, dirty)
+	}
 	if v.Dirty() {
 		e.writebackLine(now, v.Addr, oldClean, v.Data)
 	}
@@ -419,6 +458,7 @@ func (e *Engine) writebackLine(now uint64, addr uint64, oldClean, data []byte) {
 	m := e.mem(addr)
 	if e.Geo.IsNVM(addr) {
 		e.St.Writebacks++
+		e.Emit(obs.EvWriteback, now, addr, 0)
 		if e.Red != nil {
 			e.Red.OnWriteback(now, addr, oldClean, data)
 		}

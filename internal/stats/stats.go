@@ -161,6 +161,75 @@ func (s *Stats) Reset() { *s = Stats{} }
 // Clone returns a copy of the current counters.
 func (s *Stats) Clone() Stats { return *s }
 
+// Delta returns the per-field difference s - prev. Counters are cumulative,
+// so for two snapshots of the same run the delta is the activity between
+// them; the epoch sampler (internal/obs) builds its time series from it.
+func (s Stats) Delta(prev Stats) Stats {
+	d := s
+	d.Cycles -= prev.Cycles
+	for i := range d.Cache {
+		d.Cache[i].Hits -= prev.Cache[i].Hits
+		d.Cache[i].Misses -= prev.Cache[i].Misses
+	}
+	d.NVM.DataReads -= prev.NVM.DataReads
+	d.NVM.DataWrites -= prev.NVM.DataWrites
+	d.NVM.RedReads -= prev.NVM.RedReads
+	d.NVM.RedWrites -= prev.NVM.RedWrites
+	d.DRAMReads -= prev.DRAMReads
+	d.DRAMWrites -= prev.DRAMWrites
+	d.EnergyPJ -= prev.EnergyPJ
+	d.CorruptionsDetected -= prev.CorruptionsDetected
+	d.Recoveries -= prev.Recoveries
+	d.ECCErrors -= prev.ECCErrors
+	d.ComputeCycles -= prev.ComputeCycles
+	d.LoadStallCyc -= prev.LoadStallCyc
+	d.StoreIssueCyc -= prev.StoreIssueCyc
+	d.Loads -= prev.Loads
+	d.Stores -= prev.Stores
+	d.VerifyExtraCyc -= prev.VerifyExtraCyc
+	d.Writebacks -= prev.Writebacks
+	d.Fills -= prev.Fills
+	d.DiffStashes -= prev.DiffStashes
+	d.DiffEvictions -= prev.DiffEvictions
+	d.RedInvalidations -= prev.RedInvalidations
+	d.UpperInvalidations -= prev.UpperInvalidations
+	return d
+}
+
+// Add returns the per-field sum s + o, the inverse of Delta. Summing a
+// sampled series' deltas reconstructs the run's aggregate counters.
+func (s Stats) Add(o Stats) Stats {
+	r := s
+	r.Cycles += o.Cycles
+	for i := range r.Cache {
+		r.Cache[i].Hits += o.Cache[i].Hits
+		r.Cache[i].Misses += o.Cache[i].Misses
+	}
+	r.NVM.DataReads += o.NVM.DataReads
+	r.NVM.DataWrites += o.NVM.DataWrites
+	r.NVM.RedReads += o.NVM.RedReads
+	r.NVM.RedWrites += o.NVM.RedWrites
+	r.DRAMReads += o.DRAMReads
+	r.DRAMWrites += o.DRAMWrites
+	r.EnergyPJ += o.EnergyPJ
+	r.CorruptionsDetected += o.CorruptionsDetected
+	r.Recoveries += o.Recoveries
+	r.ECCErrors += o.ECCErrors
+	r.ComputeCycles += o.ComputeCycles
+	r.LoadStallCyc += o.LoadStallCyc
+	r.StoreIssueCyc += o.StoreIssueCyc
+	r.Loads += o.Loads
+	r.Stores += o.Stores
+	r.VerifyExtraCyc += o.VerifyExtraCyc
+	r.Writebacks += o.Writebacks
+	r.Fills += o.Fills
+	r.DiffStashes += o.DiffStashes
+	r.DiffEvictions += o.DiffEvictions
+	r.RedInvalidations += o.RedInvalidations
+	r.UpperInvalidations += o.UpperInvalidations
+	return r
+}
+
 // String renders a compact human-readable summary.
 func (s *Stats) String() string {
 	var b strings.Builder
@@ -173,8 +242,13 @@ func (s *Stats) String() string {
 			fmt.Fprintf(&b, " %s=%d(h%d)", i, c.Total(), c.Hits)
 		}
 	}
-	if s.CorruptionsDetected > 0 || s.Recoveries > 0 {
-		fmt.Fprintf(&b, " corruptions=%d recoveries=%d", s.CorruptionsDetected, s.Recoveries)
+	if s.ComputeCycles > 0 || s.LoadStallCyc > 0 || s.StoreIssueCyc > 0 {
+		fmt.Fprintf(&b, " cyc[comp=%d load=%d store=%d]",
+			s.ComputeCycles, s.LoadStallCyc, s.StoreIssueCyc)
+	}
+	if s.CorruptionsDetected > 0 || s.Recoveries > 0 || s.ECCErrors > 0 {
+		fmt.Fprintf(&b, " corruptions=%d recoveries=%d ecc=%d",
+			s.CorruptionsDetected, s.Recoveries, s.ECCErrors)
 	}
 	return b.String()
 }

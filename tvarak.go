@@ -19,10 +19,13 @@
 package tvarak
 
 import (
+	"io"
+
 	"tvarak/internal/core"
 	"tvarak/internal/daxfs"
 	"tvarak/internal/experiments"
 	"tvarak/internal/harness"
+	"tvarak/internal/obs"
 	"tvarak/internal/param"
 	"tvarak/internal/pmem"
 	"tvarak/internal/sim"
@@ -54,6 +57,10 @@ type (
 	Tx = pmem.Tx
 	// Stats holds the run's metrics (runtime, energy, NVM/cache accesses).
 	Stats = stats.Stats
+	// CacheCounter counts hits and misses at one cache level.
+	CacheCounter = stats.CacheCounter
+	// CacheLevel identifies a cache level in Stats.Cache.
+	CacheLevel = stats.Level
 	// Workload is a runnable benchmark workload.
 	Workload = harness.Workload
 	// Result is one (workload, design) outcome.
@@ -73,6 +80,23 @@ type (
 	Runner = harness.Runner
 	// Progress is the per-cell completion callback a Runner invokes.
 	Progress = harness.Progress
+	// Tracer receives structured simulation events (fills, writebacks,
+	// diff stashes, corruptions, ...); attach via Engine.Tracer or
+	// Observation.Tracer.
+	Tracer = obs.Tracer
+	// TraceEvent is one traced simulation event.
+	TraceEvent = obs.Event
+	// Sampler snapshots statistics deltas at phase boundaries into a
+	// per-run epoch time series; attach via Engine.AttachSampler.
+	Sampler = obs.Sampler
+	// Sample is one epoch of a sampled run's time series.
+	Sample = obs.Sample
+	// Observation selects the telemetry (sampling, tracing) attached to a
+	// RunWorkloadObserved run.
+	Observation = harness.Observation
+	// MetricsExport is the versioned machine-readable result document
+	// (JSON/CSV) that -metrics-out writes and the compare mode diffs.
+	MetricsExport = obs.Export
 )
 
 // Design constants.
@@ -81,6 +105,14 @@ const (
 	DesignTvarak         = param.Tvarak
 	DesignTxBObjectCsums = param.TxBObjectCsums
 	DesignTxBPageCsums   = param.TxBPageCsums
+)
+
+// Cache levels for Stats.Cache indexing.
+const (
+	LevelL1     = stats.L1
+	LevelL2     = stats.L2
+	LevelLLC    = stats.LLC
+	LevelTvarak = stats.TvarakCache
 )
 
 // DefaultConfig returns the paper's Table III machine.
@@ -136,6 +168,35 @@ func (m *Machine) System() *harness.System { return m.sys }
 func RunWorkload(cfg *Config, w Workload) (*Result, error) {
 	return harness.Run(cfg, w)
 }
+
+// RunWorkloadObserved is RunWorkload with telemetry attached to the
+// measured region: an epoch sampler (Observation.SampleEvery) and/or an
+// event tracer (Observation.Tracer). Telemetry is read-only — results are
+// byte-identical to an unobserved run.
+func RunWorkloadObserved(cfg *Config, w Workload, ob Observation) (*Result, error) {
+	return harness.RunObserved(cfg, w, ob)
+}
+
+// NewJSONLTracer builds a tracer that writes one JSON object per event to
+// w through a bounded buffer; after maxEvents events (0 selects a generous
+// default, negative disables the bound) it drops and counts instead of
+// writing. Close flushes and appends a trailer with the totals.
+func NewJSONLTracer(w io.Writer, maxEvents int64) *obs.JSONL {
+	return obs.NewJSONL(w, maxEvents)
+}
+
+// NewEpochSampler builds a sampler with the given epoch length in cycles;
+// attach it with Engine.AttachSampler after ResetMeasurement.
+func NewEpochSampler(every uint64) *Sampler { return obs.NewSampler(every) }
+
+// MetricsSchemaVersion is the version of the machine-readable export
+// schema this build reads and writes.
+const MetricsSchemaVersion = obs.SchemaVersion
+
+// NewMetricsExport returns an empty export document at the current schema
+// version; fill Runs from ResultTable.ExportRuns and serialize with
+// WriteJSON or WriteCSV.
+func NewMetricsExport(tool string) *MetricsExport { return obs.NewExport(tool) }
 
 // RunCells executes independent simulation cells on a bounded worker pool
 // (workers <= 0 means one per CPU) and returns results in cell order.
