@@ -7,12 +7,21 @@
 // With -trace the whole session (fills, writebacks, corruption detections,
 // parity recoveries, ...) is written as a JSONL event stream, so the
 // recovery storm each injected bug causes is inspectable event by event.
+//
+// With -campaign it instead runs the deterministic fault-injection
+// campaign: -n seeded injections per design across all seven paper
+// applications, judged by the shadow redundancy oracle (Baseline must
+// miss every firmware-bug corruption, TVARAK must detect and recover
+// every one). -report writes the per-injection JSONL report; the same
+// -seed always yields byte-identical report bytes (see EXPERIMENTS.md
+// for reproducing a failed campaign from its seed).
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tvarak"
@@ -20,11 +29,57 @@ import (
 
 func main() {
 	traceOut := flag.String("trace", "", "write a JSONL event trace of every scenario to this path")
+	campaign := flag.Bool("campaign", false, "run the oracle-judged fault-injection campaign instead of the demo scenarios")
+	seed := flag.Int64("seed", 1, "campaign seed (same seed: byte-identical report)")
+	n := flag.Int("n", 112, "campaign injections per design, split across the applications")
+	report := flag.String("report", "", "write the campaign's JSONL report to this path (- for stdout)")
+	workers := flag.Int("workers", 0, "concurrent campaign units (0 = one per CPU)")
+	shrink := flag.Bool("shrink", true, "minimize the injection schedule of any failing unit")
 	flag.Parse()
-	if err := run(*traceOut); err != nil {
+	var err error
+	if *campaign {
+		err = runCampaign(*seed, *n, *workers, *shrink, *report)
+	} else {
+		err = run(*traceOut)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tvarak-fault:", err)
 		os.Exit(1)
 	}
+}
+
+func runCampaign(seed int64, n, workers int, shrink bool, report string) error {
+	fmt.Printf("fault campaign: seed=%d injections=%d apps=%v\n", seed, n, tvarak.FaultCampaignApps())
+	rep, runErr := tvarak.RunFaultCampaign(tvarak.FaultCampaignOptions{
+		Seed: seed, N: n, Workers: workers, Shrink: shrink,
+		Progress: func(done, total int, u *tvarak.FaultUnitReport) {
+			status := "ok"
+			if u.Failure != "" {
+				status = "FAIL: " + u.Failure
+			}
+			fmt.Printf("  [%2d/%d] %-16s fired=%-3d detected=%-3d recovered=%-3d silent=%-3d %s\n",
+				done, total, u.Label(), u.Fired, u.Detections, u.Recoveries, u.SilentCorruptions, status)
+		},
+	})
+	if rep != nil {
+		if report != "" {
+			var w io.Writer = os.Stdout
+			if report != "-" {
+				f, err := os.Create(report)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := tvarak.WriteFaultReport(w, rep); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("campaign: %d units, %d fired, %d silent under baseline, %d undetected, %d unrecovered, %d crash points, %d failures\n",
+			len(rep.Units), rep.Fired, rep.SilentCorruptions, rep.Undetected, rep.Unrecovered, rep.CrashPoints, rep.Failures)
+	}
+	return runErr
 }
 
 func run(traceOut string) error {

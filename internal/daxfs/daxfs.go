@@ -15,6 +15,7 @@ package daxfs
 
 import (
 	"fmt"
+	"sort"
 
 	"tvarak/internal/core"
 	"tvarak/internal/geom"
@@ -274,3 +275,31 @@ func (fs *FS) RebuildStripeParity(s uint64) {
 	}
 	fs.eng.NVM.WriteRaw(geo.PageBase(geo.ParityPage(s)), parity)
 }
+
+// Files returns every file in deterministic (name-sorted) order. The
+// shadow oracle walks this to know which data pages, checksum regions and
+// page-checksum slots the reference model must cover.
+func (fs *FS) Files() []*File {
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*File, len(names))
+	for i, n := range names {
+		out[i] = fs.files[n]
+	}
+	return out
+}
+
+// Mapped reports whether the file is currently DAX-mapped.
+func (f *File) Mapped() bool { return f.mapped }
+
+// CsumRegion returns the file's DAX-CL-checksum region (starting data-page
+// index and page count); both are zero unless the file is mapped under the
+// Tvarak design.
+func (f *File) CsumRegion() (di, pages uint64) { return f.csumDI, f.csumPages }
+
+// PageCsumTable returns the global per-page checksum table's location
+// (starting data-page index and page count).
+func (fs *FS) PageCsumTable() (di, pages uint64) { return fs.pageCsumDI, fs.pageCsumPages }

@@ -1,0 +1,160 @@
+package daxfs_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tvarak/internal/oracle"
+	"tvarak/internal/param"
+	"tvarak/internal/sim"
+)
+
+// Crash-recovery tests: simulate a crash that leaves NVM torn or a DIMM
+// gone, run the daxfs recovery path, and assert the recovered bytes are
+// identical to what the redundancy oracle says the content should be.
+// The oracle matters here because the recovery paths rebuild derivable
+// metadata (page checksums, DAX-CL-checksums) from whatever they
+// reconstructed — a wrong reconstruction would re-checksum its own garbage
+// and pass Scrub, so only an independent shadow can catch it.
+
+func TestRecoverFilePageAfterTornWrite(t *testing.T) {
+	e, fs := fsFixture(t, param.Baseline)
+	f, err := fs.Create("journal", 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, int(f.Size()))
+	rand.New(rand.NewSource(11)).Read(data)
+	if err := fs.WriteAt(f, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	o := oracle.Attach(e, fs)
+	defer o.Detach()
+
+	// Crash mid-update of page 3: half the page holds bytes of a write
+	// that never completed — its page checksum and stripe parity were
+	// never updated. Pause the oracle so the shadow keeps modelling the
+	// pre-crash content the recovery must restore.
+	geo := fs.Geometry()
+	const page = 3
+	base := geo.DataIndexAddr(f.StartDI+page, 0)
+	want := make([]byte, geo.PageSize)
+	o.ShadowRange(base, want)
+	o.Pause()
+	e.NVM.WriteRaw(base, bytes.Repeat([]byte{0x77}, geo.PageSize/2))
+
+	bad := fs.Scrub()
+	if len(bad) != 1 || bad[0].File != f.Name || bad[0].Page != page {
+		t.Fatalf("scrub after torn write reported %v, want exactly %s page %d", bad, f.Name, page)
+	}
+	if err := fs.RecoverFilePage(f, page); err != nil {
+		t.Fatal(err)
+	}
+	o.Resume()
+
+	got := make([]byte, geo.PageSize)
+	e.NVM.ReadRaw(base, got)
+	if !bytes.Equal(got, want) {
+		t.Error("recovered page diverges from the oracle's pre-crash shadow")
+	}
+	if bad := fs.Scrub(); len(bad) != 0 {
+		t.Errorf("scrub still reports %v after recovery", bad)
+	}
+	if div := o.VerifyMediaAll(); len(div) != 0 {
+		t.Errorf("oracle sees %d divergent lines after recovery", len(div))
+	}
+	// End to end: the file reads back exactly what was written pre-crash.
+	got = make([]byte, len(data))
+	if err := fs.ReadAt(f, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("file content wrong after torn-write recovery")
+	}
+}
+
+func TestRecoverFilePageUnrecoverableWhenParityAlsoLost(t *testing.T) {
+	e, fs := fsFixture(t, param.Baseline)
+	f, err := fs.Create("doomed", 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAt(f, 0, bytes.Repeat([]byte{9}, int(f.Size()))); err != nil {
+		t.Fatal(err)
+	}
+	// Tear a data page AND junk its stripe's parity page: reconstruction
+	// must fail the page checksum and be refused, not written to media.
+	geo := fs.Geometry()
+	const page = 1
+	pp := geo.PageOfDataIndex(f.StartDI + page)
+	junk := bytes.Repeat([]byte{0xDE}, geo.PageSize)
+	e.NVM.WriteRaw(geo.DataIndexAddr(f.StartDI+page, 0), junk[:geo.PageSize/2])
+	e.NVM.WriteRaw(geo.PageBase(geo.ParityPage(geo.StripeOf(pp))), junk)
+	if err := fs.RecoverFilePage(f, page); err == nil {
+		t.Fatal("reconstruction from destroyed parity was accepted")
+	}
+}
+
+func TestRecoverDIMMMappedByteIdenticalViaOracle(t *testing.T) {
+	e, fs := fsFixture(t, param.Tvarak)
+	f, err := fs.Create("state", 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.MMap("state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oracle.Attach(e, fs)
+	defer o.Detach()
+
+	// Populate through the mapped path on a core, so the TVARAK controller
+	// maintains DAX-CL-checksums and cross-DIMM parity for every line; Run
+	// drains caches on return, leaving media and redundancy current.
+	rng := rand.New(rand.NewSource(23))
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		buf := make([]byte, 64)
+		for off := uint64(0); off < m.Size(); off += 64 {
+			rng.Read(buf)
+			m.Store(c, off, buf)
+		}
+	}})
+
+	geo := fs.Geometry()
+	want := make([]byte, int(f.Size()))
+	for p := uint64(0); p < f.Pages; p++ {
+		o.ShadowRange(geo.DataIndexAddr(f.StartDI+p, 0), want[p*uint64(geo.PageSize):(p+1)*uint64(geo.PageSize)])
+	}
+
+	// Lose DIMM 1 wholesale (data, parity, and checksum-table pages alike),
+	// then replace and reconstruct it.
+	o.Pause()
+	junk := bytes.Repeat([]byte{0xDE}, geo.PageSize)
+	for s := uint64(0); s < geo.Stripes(); s++ {
+		e.NVM.WriteRaw(geo.PageBase(s*uint64(geo.DIMMs)+1), junk)
+	}
+	if err := fs.RecoverDIMM(1); err != nil {
+		t.Fatal(err)
+	}
+	o.Resume()
+
+	got := make([]byte, int(f.Size()))
+	page := make([]byte, geo.PageSize)
+	for p := uint64(0); p < f.Pages; p++ {
+		e.NVM.ReadRaw(geo.DataIndexAddr(f.StartDI+p, 0), page)
+		copy(got[p*uint64(geo.PageSize):], page)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("mapped file diverges from the oracle shadow after DIMM recovery")
+	}
+	if div := o.VerifyMapped(); len(div) != 0 {
+		t.Errorf("oracle reports %d mapped divergences after DIMM recovery", len(div))
+	}
+	if div := o.VerifyRedundancy(); len(div) != 0 {
+		t.Errorf("redundancy diverges after DIMM recovery: %v", div[0])
+	}
+	if bad := fs.Scrub(); len(bad) != 0 {
+		t.Errorf("scrub reports %v after DIMM recovery", bad)
+	}
+}

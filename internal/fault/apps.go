@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"fmt"
+
+	"tvarak/internal/apps/fio"
+	"tvarak/internal/apps/kvtrees"
+	"tvarak/internal/apps/nstore"
+	"tvarak/internal/apps/redispm"
+	"tvarak/internal/apps/stream"
+	"tvarak/internal/harness"
+)
+
+// appSpec builds one campaign workload at campaign scale (SmallTest
+// machines: 4 cores, 32 MB NVM) and reseeds it between segments. Every
+// adapter's Workers must be re-callable with a mutated Cfg — all seven
+// paper applications derive their per-call RNGs from Cfg.Seed, so each
+// segment replays a fresh deterministic op schedule against the
+// already-set-up persistent state.
+type appSpec struct {
+	name   string
+	make   func(seed int64) harness.Workload
+	reseed func(w harness.Workload, seed int64)
+}
+
+// campaignApps lists the seven applications of the paper's evaluation at
+// campaign scale: few instances (≤ SmallTest's 4 cores), small heaps, and
+// update-heavy mixes so segments keep dirtying mapped lines without
+// growing the heaps (in-place updates only — campaigns run dozens of
+// segments against one setup).
+func campaignApps() []appSpec {
+	return []appSpec{
+		{
+			name: "redis",
+			make: func(seed int64) harness.Workload {
+				return redispm.New(redispm.Config{
+					Instances: 2, Keys: 384, Ops: 250, ValueSize: 64,
+					SetOnly: true, RehashEvery: 24, ComputeCyc: 1,
+					HeapBytes: 1 << 20, Seed: seed,
+				})
+			},
+			reseed: func(w harness.Workload, seed int64) { w.(*redispm.Workload).Cfg.Seed = seed },
+		},
+		{
+			name: "ctree",
+			make: func(seed int64) harness.Workload {
+				return kvtrees.New(kvCfg(kvtrees.CTree, seed))
+			},
+			reseed: func(w harness.Workload, seed int64) { w.(*kvtrees.Workload).Cfg.Seed = seed },
+		},
+		{
+			name: "btree",
+			make: func(seed int64) harness.Workload {
+				return kvtrees.New(kvCfg(kvtrees.BTree, seed))
+			},
+			reseed: func(w harness.Workload, seed int64) { w.(*kvtrees.Workload).Cfg.Seed = seed },
+		},
+		{
+			name: "rbtree",
+			make: func(seed int64) harness.Workload {
+				return kvtrees.New(kvCfg(kvtrees.RBTree, seed))
+			},
+			reseed: func(w harness.Workload, seed int64) { w.(*kvtrees.Workload).Cfg.Seed = seed },
+		},
+		{
+			name: "nstore",
+			make: func(seed int64) harness.Workload {
+				return nstore.New(nstore.Config{
+					Mix: nstore.UpdateHeavy, Clients: 2, Tuples: 512,
+					TupleBytes: 128, FieldBytes: 64, Txns: 200,
+					ComputeCyc: 1, HeapBytes: 1 << 20, Seed: seed,
+				})
+			},
+			reseed: func(w harness.Workload, seed int64) { w.(*nstore.Workload).Cfg.Seed = seed },
+		},
+		{
+			name: "fio",
+			make: func(seed int64) harness.Workload {
+				return fio.New(fio.Config{
+					Pattern: fio.Rand, Write: true, Threads: 2,
+					RegionBytes: 256 << 10, AccessBytes: 32 << 10,
+					BlockBytes: 4096, ComputeCyc: 1, Seed: seed,
+				})
+			},
+			reseed: func(w harness.Workload, seed int64) { w.(*fio.Workload).Cfg.Seed = seed },
+		},
+		{
+			name: "stream",
+			make: func(seed int64) harness.Workload {
+				return stream.New(stream.Config{
+					Kernel: stream.Triad, Threads: 2, ArrayBytes: 64 << 10,
+					ComputeCyc: 1, Seed: seed,
+				})
+			},
+			reseed: func(w harness.Workload, seed int64) { w.(*stream.Workload).Cfg.Seed = seed },
+		},
+	}
+}
+
+func kvCfg(s kvtrees.Structure, seed int64) kvtrees.Config {
+	return kvtrees.Config{
+		Structure: s, Mix: kvtrees.UpdateOnly, Instances: 2, Keys: 256,
+		Ops: 200, ValueSize: 64, ComputeCyc: 1, HeapBytes: 1 << 20, Seed: seed,
+	}
+}
+
+// AppNames lists the campaign applications in report order.
+func AppNames() []string {
+	apps := campaignApps()
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.name
+	}
+	return names
+}
+
+func lookupApp(name string) (appSpec, error) {
+	for _, a := range campaignApps() {
+		if a.name == name {
+			return a, nil
+		}
+	}
+	return appSpec{}, fmt.Errorf("fault: unknown campaign app %q", name)
+}

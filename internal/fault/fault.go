@@ -1,0 +1,141 @@
+// Package fault is the deterministic fault-injection campaign engine: a
+// seeded-PRNG driver that interleaves lost-write, misdirected-write,
+// misdirected-read and media-bit-flip injections (plus crash-then-recover
+// points) into randomized workload schedules, with the shadow oracle
+// (internal/oracle) as the arbiter of what every design must have done
+// about each corruption.
+//
+// A campaign is pure data before it runs: NewPlan expands (app, seed, n)
+// into rounds of injection specs whose targets are resolved against the
+// workload's own written lines at run time, deterministically. Baseline
+// must miss (and the oracle confirm) every firmware-bug corruption;
+// TVARAK must detect and recover every one. Reports are deterministic
+// JSONL — same seed, byte-identical bytes — and a failing unit's
+// schedule is automatically shrunk to a minimal failing subset.
+package fault
+
+import (
+	"math/rand"
+)
+
+// Kind is one injected fault type.
+type Kind int
+
+const (
+	// LostWrite arms nvm.InjectLostWrite at the target line.
+	LostWrite Kind = iota
+	// MisdirectedWrite arms nvm.InjectMisdirectedWrite from the target
+	// onto a victim line in a different parity group.
+	MisdirectedWrite
+	// MisdirectedRead arms nvm.InjectMisdirectedRead at the target,
+	// delivering a donor line's content.
+	MisdirectedRead
+	// BitFlip flips one media bit in the target line (device ECC
+	// detects this class; TVARAK additionally recovers it).
+	BitFlip
+	numKinds
+)
+
+// String returns the stable wire name used in reports.
+func (k Kind) String() string {
+	switch k {
+	case LostWrite:
+		return "lost-write"
+	case MisdirectedWrite:
+		return "misdirected-write"
+	case MisdirectedRead:
+		return "misdirected-read"
+	case BitFlip:
+		return "bit-flip"
+	}
+	return "unknown"
+}
+
+// Spec is one pre-drawn injection: the kind plus raw randomness consumed
+// at run time to pick the target (R1), the victim/donor or flipped byte
+// (R2) and the flipped bit (R3). Keeping specs free of addresses makes a
+// plan reusable across designs — the same schedule hits Baseline and
+// TVARAK — while target resolution stays deterministic.
+type Spec struct {
+	Kind Kind   `json:"kind"`
+	R1   uint64 `json:"r1"`
+	R2   uint64 `json:"r2"`
+	R3   uint64 `json:"r3"`
+}
+
+// Round is one campaign round: arm the specs, run a workload segment
+// seeded with OpsSeed, sweep-verify every written line, then (under
+// TVARAK, when Crash is set) exercise a crash-then-daxfs-recovery point.
+type Round struct {
+	Specs   []Spec `json:"specs"`
+	OpsSeed int64  `json:"opsSeed"`
+	Crash   bool   `json:"crash"`
+}
+
+// Plan is a complete per-app injection schedule. Plans are design-
+// independent: the campaign runs the same plan against every design.
+type Plan struct {
+	App    string  `json:"app"`
+	Seed   int64   `json:"seed"`
+	Rounds []Round `json:"rounds"`
+}
+
+// Injections counts the plan's specs.
+func (p Plan) Injections() int {
+	n := 0
+	for _, r := range p.Rounds {
+		n += len(r.Specs)
+	}
+	return n
+}
+
+// specsPerRound bounds how many injections one workload segment absorbs;
+// small enough that distinct injections rarely compete for parity groups,
+// large enough that campaigns don't degenerate into one-spec rounds.
+const specsPerRound = 8
+
+// NewPlan expands (app, seed, n) into a deterministic schedule of n
+// injection specs. Kinds are stratified round-robin (every window of four
+// injections covers all four kinds, so even tiny campaigns exercise each
+// class) and then shuffled within each round for schedule variety.
+func NewPlan(app string, seed int64, n int) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := Plan{App: app, Seed: seed}
+	for i := 0; i < n; {
+		k := min(specsPerRound, n-i)
+		r := Round{OpsSeed: rng.Int63(), Crash: rng.Intn(3) == 0}
+		for j := 0; j < k; j++ {
+			r.Specs = append(r.Specs, Spec{
+				Kind: Kind((i + j) % int(numKinds)),
+				R1:   rng.Uint64(),
+				R2:   rng.Uint64(),
+				R3:   rng.Uint64(),
+			})
+		}
+		rng.Shuffle(len(r.Specs), func(a, b int) {
+			r.Specs[a], r.Specs[b] = r.Specs[b], r.Specs[a]
+		})
+		p.Rounds = append(p.Rounds, r)
+		i += k
+	}
+	return p
+}
+
+// withSpecs returns a copy of p keeping only the specs whose flat indices
+// (plan order) are in keep — the shrinker's reduction operator. Rounds
+// and their OpsSeeds are preserved so the workload schedule is unchanged.
+func (p Plan) withSpecs(keep map[int]bool) Plan {
+	out := Plan{App: p.App, Seed: p.Seed}
+	flat := 0
+	for _, r := range p.Rounds {
+		nr := Round{OpsSeed: r.OpsSeed, Crash: r.Crash}
+		for _, s := range r.Specs {
+			if keep[flat] {
+				nr.Specs = append(nr.Specs, s)
+			}
+			flat++
+		}
+		out.Rounds = append(out.Rounds, nr)
+	}
+	return out
+}

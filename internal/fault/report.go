@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// WriteJSONL streams the campaign report as JSON Lines: one campaign
+// header, then for each unit its injection lines followed by a unit
+// summary line (without the injections, which precede it), then one
+// campaign summary. Field order comes from struct marshalling and the
+// report holds no timestamps or map-ordered data, so a same-seed rerun
+// produces byte-identical output — the determinism gate diffs exactly
+// these bytes.
+func WriteJSONL(w io.Writer, r *Report) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	type header struct {
+		Type       string   `json:"type"`
+		Seed       int64    `json:"seed"`
+		Injections int      `json:"injections"`
+		Apps       []string `json:"apps"`
+		Designs    []string `json:"designs"`
+	}
+	if err := enc.Encode(header{"campaign", r.Seed, r.Injections, r.Apps, r.Designs}); err != nil {
+		return err
+	}
+
+	type injLine struct {
+		Type   string `json:"type"`
+		App    string `json:"app"`
+		Design string `json:"design"`
+		*InjectionRecord
+	}
+	type unitLine struct {
+		Type string `json:"type"`
+		*UnitReport
+		Injections []*InjectionRecord `json:"injections,omitempty"` // suppressed
+	}
+	for _, u := range r.Units {
+		for _, rec := range u.Injections {
+			if err := enc.Encode(injLine{"injection", u.App, u.Design, rec}); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(unitLine{Type: "unit", UnitReport: u}); err != nil {
+			return err
+		}
+	}
+
+	type summary struct {
+		Type              string `json:"type"`
+		Units             int    `json:"units"`
+		Fired             int    `json:"fired"`
+		SilentCorruptions int    `json:"silentCorruptions"`
+		Undetected        int    `json:"undetected"`
+		Unrecovered       int    `json:"unrecovered"`
+		AppPanics         int    `json:"appPanics"`
+		CrashPoints       int    `json:"crashPoints"`
+		Failures          int    `json:"failures"`
+	}
+	if err := enc.Encode(summary{"summary", len(r.Units), r.Fired,
+		r.SilentCorruptions, r.Undetected, r.Unrecovered, r.AppPanics, r.CrashPoints, r.Failures}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

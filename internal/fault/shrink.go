@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"sort"
+
+	"tvarak/internal/param"
+)
+
+// shrinkUnit minimizes a failing unit's injection schedule by delta
+// debugging over flat spec indices, re-running the unit per attempt.
+// Rounds and their OpsSeeds are preserved, so the minimal schedule
+// replays against the exact same workload segments. Returns the minimal
+// failing spec list and how many unit re-runs the search spent (capped
+// at budget).
+func shrinkUnit(app appSpec, design param.Design, plan Plan, budget int) ([]Spec, int) {
+	keep, runs := ddmin(plan.Injections(), budget, func(k map[int]bool) bool {
+		return runUnit(app, design, plan.withSpecs(k)).Failure != ""
+	})
+	return flatSpecs(plan.withSpecs(keep)), runs
+}
+
+// ddmin is the search core: starting from all of [0, total), repeatedly
+// try removing chunks of indices (halving the chunk size when a pass
+// removes nothing) and keep any removal after which fails still holds.
+// fails(all indices) is assumed true; the result is 1-minimal when the
+// budget allows (removing any single kept index makes the failure
+// vanish), otherwise the best reduction found within budget calls.
+func ddmin(total, budget int, fails func(keep map[int]bool) bool) (map[int]bool, int) {
+	keep := make(map[int]bool, total)
+	for i := 0; i < total; i++ {
+		keep[i] = true
+	}
+	runs := 0
+	for chunk := (total + 1) / 2; chunk >= 1 && runs < budget; {
+		removed := false
+		idxs := sortedIdxs(keep)
+		for lo := 0; lo < len(idxs) && runs < budget; lo += chunk {
+			hi := min(lo+chunk, len(idxs))
+			trial := make(map[int]bool, len(keep)-(hi-lo))
+			for k := range keep {
+				trial[k] = true
+			}
+			for _, k := range idxs[lo:hi] {
+				delete(trial, k)
+			}
+			runs++
+			if fails(trial) {
+				keep = trial
+				removed = true
+				break // re-scan with the smaller kept set
+			}
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk = (chunk + 1) / 2
+		}
+	}
+	return keep, runs
+}
+
+func sortedIdxs(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func flatSpecs(p Plan) []Spec {
+	var out []Spec
+	for _, r := range p.Rounds {
+		out = append(out, r.Specs...)
+	}
+	return out
+}

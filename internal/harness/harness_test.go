@@ -191,9 +191,17 @@ func TestWithDaemonsTerminatesWithoutMeasuredWork(t *testing.T) {
 			s.Eng.Run(s.WithDaemons(workers))
 			close(done)
 		}()
+		// Budget from the test deadline (leave slack to report), so -timeout
+		// governs instead of a magic constant racing slow CI machines.
+		budget := 30 * time.Second
+		if dl, ok := t.Deadline(); ok {
+			if until := time.Until(dl) - 5*time.Second; until > 0 && until < budget {
+				budget = until
+			}
+		}
 		select {
 		case <-done:
-		case <-time.After(30 * time.Second):
+		case <-time.After(budget):
 			t.Fatalf("WithDaemons with %d nil workers hung", len(workers))
 		}
 	}

@@ -94,24 +94,21 @@ func (rn Runner) workers(n int) int {
 	return w
 }
 
-// Run executes every cell and returns the results indexed exactly like
-// cells. On failure it returns the error of the earliest (by cell order)
-// cell that failed; cells not yet started when a failure is observed are
-// skipped, but any earlier cell has always already been claimed, so the
-// reported error does not depend on the worker count.
-func (rn Runner) Run(cells []Cell) ([]*Result, error) {
-	n := len(cells)
-	if n == 0 {
-		return nil, nil
+// ForEach runs job(i) for every i in [0, n) across the worker pool.
+// Indices are claimed in order; after a job fails, no new index is
+// claimed (in-flight jobs finish), and the error of the earliest-index
+// failure is returned. A job that must never stop its siblings (the
+// fault-injection campaign records per-unit failures in its report
+// instead) simply returns nil and keeps its own accounting.
+func (rn Runner) ForEach(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
 	}
-	results := make([]*Result, n)
 	errs := make([]error, n)
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
 		wg     sync.WaitGroup
-		mu     sync.Mutex // serializes Progress and the done counter
-		done   int
 	)
 	next.Store(-1)
 	for w := rn.workers(n); w > 0; w-- {
@@ -123,18 +120,10 @@ func (rn Runner) Run(cells []Cell) ([]*Result, error) {
 				if i >= n || failed.Load() {
 					return
 				}
-				start := time.Now()
-				r, err := cells[i].run()
-				results[i], errs[i] = r, err
-				if err != nil {
+				if err := job(i); err != nil {
+					errs[i] = err
 					failed.Store(true)
 					return
-				}
-				if rn.Progress != nil {
-					mu.Lock()
-					done++
-					rn.Progress(done, n, r, time.Since(start))
-					mu.Unlock()
 				}
 			}
 		}()
@@ -142,8 +131,44 @@ func (rn Runner) Run(cells []Cell) ([]*Result, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// Run executes every cell and returns the results indexed exactly like
+// cells. On failure it returns the error of the earliest (by cell order)
+// cell that failed; cells not yet started when a failure is observed are
+// skipped, but any earlier cell has always already been claimed, so the
+// reported error does not depend on the worker count.
+func (rn Runner) Run(cells []Cell) ([]*Result, error) {
+	n := len(cells)
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]*Result, n)
+	var (
+		mu   sync.Mutex // serializes Progress and the done counter
+		done int
+	)
+	err := rn.ForEach(n, func(i int) error {
+		start := time.Now()
+		r, err := cells[i].run()
+		results[i] = r
+		if err != nil {
+			return err
+		}
+		if rn.Progress != nil {
+			mu.Lock()
+			done++
+			rn.Progress(done, n, r, time.Since(start))
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

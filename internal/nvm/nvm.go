@@ -80,10 +80,38 @@ type Memory struct {
 	st       *stats.Stats
 
 	// One-shot firmware bugs armed by tests and fault-injection tools,
-	// keyed by intended line address. NVM only.
+	// keyed by intended line address. NVM only. Bugs model firmware
+	// faults on the demand data path, so they fire only on Data-class
+	// accesses: redundancy-maintenance reads/writes issued by the
+	// controller would otherwise consume a bug armed for the
+	// application's own access to the same line.
 	bugsW map[uint64]bug
 	bugsR map[uint64]bug
+
+	// Observers see every access at the intended address, before bug
+	// redirection — i.e. what the issuer meant to persist or read — so a
+	// shadow model built from them diverges from media exactly where a
+	// firmware bug or media corruption struck. Nil when disabled.
+	obsW WriteObserver
+	obsR ReadObserver
 }
+
+// WriteObserver receives every media write with its intended address and
+// payload, before any injected firmware bug drops or redirects it. timed
+// is false for WriteRaw (setup/recovery) writes; class is Data for those.
+type WriteObserver func(addr uint64, data []byte, timed bool, class Class)
+
+// ReadObserver receives every timed media read after delivery: buf holds
+// the bytes actually returned to the issuer (possibly redirected by a
+// misdirected-read bug), addr the intended line, and eccErr whether the
+// device ECC flagged the access.
+type ReadObserver func(addr uint64, buf []byte, class Class, eccErr bool)
+
+// SetWriteObserver installs (or, with nil, removes) the write observer.
+func (m *Memory) SetWriteObserver(o WriteObserver) { m.obsW = o }
+
+// SetReadObserver installs (or, with nil, removes) the read observer.
+func (m *Memory) SetReadObserver(o ReadObserver) { m.obsR = o }
 
 // New builds a memory pool. For NVMKind the pool spans
 // [geo.NVMBase(), geo.NVMEnd()); for DRAMKind it spans [0, geo.DRAMBytes).
@@ -160,7 +188,7 @@ func (m *Memory) checkLine(addr uint64) uint64 {
 func (m *Memory) ReadLine(now uint64, addr uint64, class Class, buf []byte) (uint64, error) {
 	m.checkLine(addr)
 	src := addr
-	if b, ok := m.bugsR[addr]; ok && b.kind == misdirectedRead {
+	if b, ok := m.bugsR[addr]; ok && b.kind == misdirectedRead && class == Data {
 		delete(m.bugsR, addr)
 		src = b.target
 	}
@@ -179,7 +207,13 @@ func (m *Memory) ReadLine(now uint64, addr uint64, class Class, buf []byte) (uin
 		if m.st != nil {
 			m.st.ECCErrors++
 		}
+		if m.obsR != nil {
+			m.obsR(addr, buf, class, true)
+		}
 		return now + m.p.ReadCyc, ErrECC
+	}
+	if m.obsR != nil {
+		m.obsR(addr, buf, class, false)
 	}
 	return now + m.p.ReadCyc, nil
 }
@@ -190,8 +224,11 @@ func (m *Memory) ReadLine(now uint64, addr uint64, class Class, buf []byte) (uin
 // line. The completion cycle is returned.
 func (m *Memory) WriteLine(now uint64, addr uint64, class Class, data []byte) uint64 {
 	m.checkLine(addr)
+	if m.obsW != nil {
+		m.obsW(addr, data, true, class)
+	}
 	dst := addr
-	if b, ok := m.bugsW[addr]; ok {
+	if b, ok := m.bugsW[addr]; ok && class == Data {
 		delete(m.bugsW, addr)
 		switch b.kind {
 		case lostWrite:
@@ -242,6 +279,9 @@ func (m *Memory) ReadRaw(addr uint64, buf []byte) {
 // WriteRaw writes media content directly (with consistent ECC), without
 // timing, stats or bugs. Used for setup and by recovery to repair media.
 func (m *Memory) WriteRaw(addr uint64, data []byte) {
+	if m.obsW != nil {
+		m.obsW(addr, data, false, Data)
+	}
 	line := make([]byte, m.lineSize)
 	for n := 0; n < len(data); {
 		la := m.geo.LineAddr(addr + uint64(n))
@@ -289,6 +329,31 @@ func (m *Memory) FlipBit(addr uint64, bit uint) {
 
 // PendingBugs reports how many injected bugs have not fired yet.
 func (m *Memory) PendingBugs() int { return len(m.bugsW) + len(m.bugsR) }
+
+// BugArmed reports whether an injected bug is still armed at lineAddr.
+// The fault-injection campaign uses it to tell fired injections (media
+// now diverges from intent) from ones the workload never triggered.
+func (m *Memory) BugArmed(lineAddr uint64) bool {
+	_, w := m.bugsW[lineAddr]
+	_, r := m.bugsR[lineAddr]
+	return w || r
+}
+
+// CancelBugs disarms any still-pending injected bugs at lineAddr and
+// reports how many were removed. Campaigns cancel unfired injections at
+// round boundaries so their accounting of media divergence stays exact.
+func (m *Memory) CancelBugs(lineAddr uint64) int {
+	n := 0
+	if _, ok := m.bugsW[lineAddr]; ok {
+		delete(m.bugsW, lineAddr)
+		n++
+	}
+	if _, ok := m.bugsR[lineAddr]; ok {
+		delete(m.bugsR, lineAddr)
+		n++
+	}
+	return n
+}
 
 // ResetTiming clears DIMM queueing state and per-DIMM counters so a new
 // measured region starts with idle devices.

@@ -45,6 +45,11 @@ const (
 	// EvRecovery is a successful cross-DIMM parity reconstruction
 	// (internal/core); Aux carries the recovery latency in cycles.
 	EvRecovery
+	// EvPhase marks a bound-weave phase boundary (internal/sim): every
+	// core has quiesced at the barrier, so caches and media are at a
+	// stable point. The shadow oracle anchors its incremental
+	// cross-checks here.
+	EvPhase
 	numEventKinds
 )
 
@@ -60,6 +65,7 @@ var eventNames = [numEventKinds]string{
 	EvRedInval:       "red-inval",
 	EvCorruption:     "corruption",
 	EvRecovery:       "recovery",
+	EvPhase:          "phase",
 }
 
 // String returns the stable wire name of the kind.

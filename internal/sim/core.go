@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tvarak/internal/cache"
+	"tvarak/internal/obs"
 )
 
 // Core is one simulated CPU with private L1-D and L2 caches. Workload code
@@ -148,6 +149,10 @@ func (e *Engine) Run(workers []func(*Core)) {
 		if e.Sampler != nil {
 			e.Sampler.Observe(e.maxClock(), e.St)
 		}
+		// Every core is quiesced at the barrier here: no store is in
+		// flight, so observers (the shadow oracle) can cross-check
+		// media against intent at a stable point.
+		e.Emit(obs.EvPhase, e.maxClock(), 0, 0)
 		phaseEnd += phase
 	}
 	e.drain()

@@ -17,7 +17,26 @@ import (
 //  3. A line Modified in any private cache has exactly one owning core.
 //  4. Data lines live only in data ways; any line in the redundancy or
 //     diff partitions is never present in a private cache.
-func (e *Engine) CheckInvariants() error {
+func (e *Engine) CheckInvariants() error { return e.CheckInvariantsAgainst(nil) }
+
+// PartitionVerifier checks the content of one LLC redundancy/diff
+// partition line against an external reference model. The shadow oracle
+// (internal/oracle) implements it: CheckInvariantsAgainst hands it every
+// cached partition line so stale checksums, parity or diff entries are
+// caught while still resident, not only after writeback.
+type PartitionVerifier interface {
+	// VerifyPartitionLine receives a partition-resident line's address
+	// and current cached content and returns an error if the content
+	// contradicts the reference model. Implementations must not modify
+	// data.
+	VerifyPartitionLine(addr uint64, data []byte) error
+}
+
+// CheckInvariantsAgainst is CheckInvariants with an optional reference
+// model: when v is non-nil, every line cached in the LLC redundancy/diff
+// partitions is additionally checked against it. A nil v checks only the
+// structural invariants.
+func (e *Engine) CheckInvariantsAgainst(v PartitionVerifier) error {
 	type holder struct {
 		cores []int
 		dirty bool
@@ -74,6 +93,12 @@ func (e *Engine) CheckInvariants() error {
 		b.ForEach(e.dataWays, b.Ways(), func(l *cache.Line) {
 			if err != nil {
 				return
+			}
+			if v != nil {
+				if verr := v.VerifyPartitionLine(l.Addr, l.Data); verr != nil {
+					err = fmt.Errorf("sim: partition line %#x contradicts reference model: %w", l.Addr, verr)
+					return
+				}
 			}
 			if _, ok := held[l.Addr]; ok {
 				// A diff-partition entry shares its tag with the data

@@ -1,0 +1,113 @@
+package xsum
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the checksum/parity arithmetic every redundancy layer
+// leans on. Run with the native engine, e.g.:
+//
+//	go test ./internal/xsum/ -fuzz FuzzPutGetRoundTrip -fuzztime 30s
+//
+// Seed corpora live under testdata/fuzz/<FuzzName>/ so plain `go test`
+// always replays them.
+
+// FuzzPutGetRoundTrip checks slot packing: Put then Get round-trips at
+// every slot boundary, and writing one slot never disturbs another.
+func FuzzPutGetRoundTrip(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"), uint32(0xdeadbeef), 0)
+	f.Add(make([]byte, 64), uint32(0), PerLine-1)
+	f.Add(bytes.Repeat([]byte{0xff}, 64), uint32(0x12345678), 7)
+	f.Fuzz(func(t *testing.T, line []byte, c uint32, idx int) {
+		if len(line) < 64 {
+			t.Skip()
+		}
+		line = line[:64]
+		idx = ((idx % PerLine) + PerLine) % PerLine
+		before := append([]byte(nil), line...)
+		Put(line, idx, c)
+		if got := Get(line, idx); got != c {
+			t.Fatalf("Get(Put(%#x)) = %#x at slot %d", c, got, idx)
+		}
+		for k := 0; k < PerLine; k++ {
+			if k == idx {
+				continue
+			}
+			if Get(line, k) != Get(before, k) {
+				t.Fatalf("Put at slot %d disturbed slot %d", idx, k)
+			}
+		}
+	})
+}
+
+// FuzzChecksumBitFlip checks the detection property the whole design
+// rests on: flipping any single bit of a 64 B line changes its CRC-32C
+// (CRC detects all single-bit errors), and the checksum is a pure
+// function of the content.
+func FuzzChecksumBitFlip(f *testing.F) {
+	f.Add(make([]byte, 64), 0, uint8(0))
+	f.Add(bytes.Repeat([]byte{0xa5}, 64), 63, uint8(7))
+	f.Add(bytes.Repeat([]byte("the quick brown fox "), 4), 17, uint8(3))
+	f.Fuzz(func(t *testing.T, line []byte, pos int, bit uint8) {
+		if len(line) < 64 {
+			t.Skip()
+		}
+		line = line[:64]
+		pos = ((pos % 64) + 64) % 64
+		orig := Checksum(line)
+		if Checksum(line) != orig {
+			t.Fatal("checksum is not deterministic")
+		}
+		line[pos] ^= 1 << (bit % 8)
+		if Checksum(line) == orig {
+			t.Fatalf("single-bit flip at byte %d bit %d left CRC-32C unchanged", pos, bit%8)
+		}
+		line[pos] ^= 1 << (bit % 8)
+		if Checksum(line) != orig {
+			t.Fatal("flipping the bit back did not restore the checksum")
+		}
+	})
+}
+
+// FuzzParityAlgebra checks the XOR algebra of cross-DIMM parity:
+// XORInto is an involution (applying a line twice is a no-op), and
+// ParityDelta(parity, old, new) is exactly remove-old-add-new — the
+// incremental update equals rebuilding parity from scratch.
+func FuzzParityAlgebra(f *testing.F) {
+	f.Add(make([]byte, 64), make([]byte, 64), make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{1}, 64), bytes.Repeat([]byte{2}, 64), bytes.Repeat([]byte{3}, 64))
+	f.Fuzz(func(t *testing.T, parity, oldData, newData []byte) {
+		if len(parity) < 64 || len(oldData) < 64 || len(newData) < 64 {
+			t.Skip()
+		}
+		parity, oldData, newData = parity[:64], oldData[:64], newData[:64]
+
+		// Involution: p ^ x ^ x == p.
+		p := append([]byte(nil), parity...)
+		XORInto(p, oldData)
+		XORInto(p, oldData)
+		if !bytes.Equal(p, parity) {
+			t.Fatal("XORInto twice with the same line is not a no-op")
+		}
+
+		// Incremental update == full rebuild. Model parity as protecting
+		// {oldData, rest} with rest implied by parity = old ^ rest.
+		inc := append([]byte(nil), parity...)
+		ParityDelta(inc, oldData, newData)
+		full := append([]byte(nil), parity...)
+		XORInto(full, oldData) // full = rest
+		XORInto(full, newData) // full = rest ^ new
+		if !bytes.Equal(inc, full) {
+			t.Fatal("ParityDelta diverges from remove-old-add-new")
+		}
+
+		// Reconstruction: the "lost" line equals parity ^ siblings.
+		rec := append([]byte(nil), inc...)
+		XORInto(rec, parity)  // rec = old ^ new
+		XORInto(rec, oldData) // rec = new
+		if !bytes.Equal(rec, newData) {
+			t.Fatal("parity reconstruction did not recover the written line")
+		}
+	})
+}

@@ -24,8 +24,10 @@ import (
 	"tvarak/internal/core"
 	"tvarak/internal/daxfs"
 	"tvarak/internal/experiments"
+	"tvarak/internal/fault"
 	"tvarak/internal/harness"
 	"tvarak/internal/obs"
+	"tvarak/internal/oracle"
 	"tvarak/internal/param"
 	"tvarak/internal/pmem"
 	"tvarak/internal/sim"
@@ -211,3 +213,38 @@ func Experiments() []Experiment { return experiments.Experiments() }
 
 // LookupExperiment finds an experiment by id (e.g. "fig8-redis").
 func LookupExperiment(id string) (Experiment, error) { return experiments.Lookup(id) }
+
+// Correctness tooling: the shadow redundancy oracle and the deterministic
+// fault-injection campaign engine (see DESIGN.md §Correctness tooling).
+type (
+	// Oracle is the shadow redundancy oracle — a reference model of the
+	// NVM's intended content cross-checked against the machine.
+	Oracle = oracle.Oracle
+	// FaultCampaignOptions configures a fault-injection campaign.
+	FaultCampaignOptions = fault.Options
+	// FaultCampaignReport is a campaign's complete outcome.
+	FaultCampaignReport = fault.Report
+	// FaultUnitReport is one (app, design) campaign unit's outcome.
+	FaultUnitReport = fault.UnitReport
+)
+
+// AttachOracle snapshots the machine's NVM and installs the shadow
+// oracle's observers; attach after workload setup, before the runs whose
+// redundancy behaviour should be checked.
+func AttachOracle(m *Machine) *Oracle { return oracle.Attach(m.sys.Eng, m.sys.FS) }
+
+// RunFaultCampaign executes a deterministic fault-injection campaign:
+// the same seeded injection schedules against every design, judged by
+// the shadow oracle. The error summarizes failed units; the report holds
+// per-injection detail and serializes deterministically with
+// WriteFaultReport.
+func RunFaultCampaign(opt FaultCampaignOptions) (*FaultCampaignReport, error) {
+	return fault.Run(opt)
+}
+
+// WriteFaultReport streams a campaign report as deterministic JSONL
+// (same seed, byte-identical output).
+func WriteFaultReport(w io.Writer, r *FaultCampaignReport) error { return fault.WriteJSONL(w, r) }
+
+// FaultCampaignApps lists the applications a campaign covers.
+func FaultCampaignApps() []string { return fault.AppNames() }
