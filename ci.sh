@@ -33,8 +33,9 @@ echo "== go test -race (parallel harness gate) =="
 # controller under it are the hottest cross-goroutine surface.
 # fault: campaign units run on the worker pool and app workers are wrapped
 # with panic containment.
+# obs: tracers and samplers are fed from concurrent cells' engines.
 go test -race ./internal/harness/ ./internal/experiments/ \
-    ./internal/sim/ ./internal/core/ ./internal/fault/ .
+    ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/obs/ .
 
 echo "== coverage floor (internal/core + internal/sim) =="
 # Combined statement coverage of the two central packages, exercised by the
@@ -85,5 +86,29 @@ if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
     echo "regenerated testdata/ci-golden.json"
 fi
 "$tmp/tvarak-sim" -compare "testdata/ci-golden.json,$tmp/run1.json"
+
+echo "== interrupt-and-resume gate =="
+# A journaled run killed mid-flight must resume to output byte-identical to
+# an uninterrupted run (DESIGN.md §7). SIGINT stops at the next phase
+# boundary, flushes artifacts, and exits 130; a run that finishes before the
+# signal lands (exit 0) is an acceptable race — the resume then just replays
+# the complete journal, which exercises the same path.
+res=(-exp fig8-stream -scale 0.05)
+"$tmp/tvarak-sim" "${res[@]}" -metrics-out "$tmp/clean.json" >"$tmp/clean.txt"
+"$tmp/tvarak-sim" "${res[@]}" -journal "$tmp/run.journal" \
+    -metrics-out "$tmp/part.json" >/dev/null 2>&1 &
+pid=$!
+sleep 0.5
+kill -INT "$pid" 2>/dev/null || true
+rc=0; wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ] && [ "$rc" -ne 130 ]; then
+    echo "journaled run exited $rc, want 0 (finished) or 130 (interrupted)" >&2
+    exit 1
+fi
+"$tmp/tvarak-sim" "${res[@]}" -resume -journal "$tmp/run.journal" \
+    -metrics-out "$tmp/resumed.json" >"$tmp/resumed.txt" 2>/dev/null
+cmp "$tmp/clean.json" "$tmp/resumed.json"
+# Table output matches too, modulo the wall-clock timing header lines.
+diff <(grep -v '^# ' "$tmp/clean.txt") <(grep -v '^# ' "$tmp/resumed.txt")
 
 echo "ci.sh: all checks passed"

@@ -19,10 +19,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tvarak"
 )
@@ -35,23 +39,56 @@ func main() {
 	report := flag.String("report", "", "write the campaign's JSONL report to this path (- for stdout)")
 	workers := flag.Int("workers", 0, "concurrent campaign units (0 = one per CPU)")
 	shrink := flag.Bool("shrink", true, "minimize the injection schedule of any failing unit")
+	journalPath := flag.String("journal", "", "checkpoint each finished campaign unit durably to this JSONL journal; resume an interrupted campaign with -resume")
+	resume := flag.Bool("resume", false, "reopen -journal and restore already-finished units instead of re-simulating them (the report is byte-identical to an uninterrupted run)")
 	flag.Parse()
 	var err error
 	if *campaign {
-		err = runCampaign(*seed, *n, *workers, *shrink, *report)
+		err = runCampaign(*seed, *n, *workers, *shrink, *report, *journalPath, *resume)
 	} else {
 		err = run(*traceOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tvarak-fault:", err)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(130) // interrupted: artifacts flushed, resume with -resume
+		}
 		os.Exit(1)
 	}
 }
 
-func runCampaign(seed int64, n, workers int, shrink bool, report string) error {
+func runCampaign(seed int64, n, workers int, shrink bool, report, journalPath string, resume bool) error {
+	// SIGINT/SIGTERM cancel the campaign cooperatively: finished units are
+	// kept (and journaled when -journal is set), the partial report is
+	// still written, and Run returns an interruption error.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var journal *tvarak.RunJournal
+	if resume && journalPath == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+	if journalPath != "" {
+		var err error
+		if resume {
+			journal, err = tvarak.ResumeRunJournal(journalPath)
+		} else {
+			journal, err = tvarak.NewRunJournal(journalPath)
+		}
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if resume {
+			fmt.Fprintf(os.Stderr, "tvarak-fault: resuming from %s: %d record(s) restorable\n",
+				journal.Path(), journal.Restored())
+		}
+	}
+
 	fmt.Printf("fault campaign: seed=%d injections=%d apps=%v\n", seed, n, tvarak.FaultCampaignApps())
 	rep, runErr := tvarak.RunFaultCampaign(tvarak.FaultCampaignOptions{
 		Seed: seed, N: n, Workers: workers, Shrink: shrink,
+		Context: ctx, Journal: journal,
 		Progress: func(done, total int, u *tvarak.FaultUnitReport) {
 			status := "ok"
 			if u.Failure != "" {
@@ -78,6 +115,16 @@ func runCampaign(seed int64, n, workers int, shrink bool, report string) error {
 		}
 		fmt.Printf("campaign: %d units, %d fired, %d silent under baseline, %d undetected, %d unrecovered, %d crash points, %d failures\n",
 			len(rep.Units), rep.Fired, rep.SilentCorruptions, rep.Undetected, rep.Unrecovered, rep.CrashPoints, rep.Failures)
+		if rep.Resumed > 0 {
+			fmt.Fprintf(os.Stderr, "tvarak-fault: %d unit(s) restored from journal\n", rep.Resumed)
+		}
+		if rep.Interrupted > 0 {
+			hint := "re-run to finish"
+			if journal != nil {
+				hint = fmt.Sprintf("resume with: tvarak-fault -campaign -seed %d -n %d -resume -journal %s", seed, n, journal.Path())
+			}
+			fmt.Fprintf(os.Stderr, "tvarak-fault: interrupted — %d unit(s) not run; %s\n", rep.Interrupted, hint)
+		}
 	}
 	return runErr
 }

@@ -8,6 +8,9 @@
 //	tvarak-sim -exp fig8-redis
 //	tvarak-sim -exp all -scale 0.25
 //	tvarak-sim -exp all -parallel 8 -progress
+//	tvarak-sim -exp all -journal run.journal        # ^C stops at the next phase boundary
+//	tvarak-sim -exp all -journal run.journal -resume
+//	tvarak-sim -exp all -keep-going -cell-timeout 10m -retries 1
 //	tvarak-sim -exp fig8-stream -metrics-out run.json -sample-every 100000
 //	tvarak-sim -exp fig8-stream -trace trace.jsonl -parallel 1
 //	tvarak-sim -compare old.json,new.json -tolerance 0.01
@@ -20,16 +23,26 @@
 // writes the versioned machine-readable export (JSON, or CSV when the path
 // ends in .csv); -compare diffs two JSON exports and exits non-zero on any
 // per-metric regression beyond -tolerance.
+//
+// Long runs are resilient: SIGINT/SIGTERM stop the simulation cooperatively
+// at the next phase boundary and flush every artifact (exit 130); -journal
+// checkpoints each completed cell durably so -resume restores them and the
+// finished output is byte-identical to an uninterrupted run; -keep-going,
+// -cell-timeout and -retries contain failing or hung cells instead of
+// aborting the whole run (see DESIGN.md §7).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"tvarak"
@@ -57,6 +70,12 @@ func main() {
 		compare     = flag.String("compare", "", "compare two metric exports, given as old.json,new.json; exits 1 on any delta beyond -tolerance")
 		tolerance   = flag.Float64("tolerance", 0, "relative per-metric tolerance for -compare (0 = exact)")
 		validate    = flag.String("validate", "", "read a metrics export, validate its schema version, and print a summary")
+
+		journalPath = flag.String("journal", "", "checkpoint each completed cell durably to this JSONL journal; an interrupted run resumes from it with -resume")
+		resume      = flag.Bool("resume", false, "reopen -journal and restore already-checkpointed cells instead of re-simulating them (output is byte-identical to an uninterrupted run)")
+		cellTimeout = flag.Duration("cell-timeout", 0, "wall-clock bound per simulation cell; a cell exceeding it is marked hung (goroutine dump in the journal) and its worker is released")
+		retries     = flag.Int("retries", 0, "extra attempts for a failing cell before it counts as failed")
+		keepGoing   = flag.Bool("keep-going", false, "do not abort on failed cells: render them as FAILED holes, report them in the manifest, exit 1 at the end")
 	)
 	flag.Parse()
 
@@ -98,9 +117,42 @@ func main() {
 		}()
 	}
 
+	// SIGINT/SIGTERM cancel the run cooperatively: in-flight cells stop at
+	// their next phase boundary, completed results flush, and the process
+	// exits 130 with a manifest of what remains.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	opts := experiments.Options{
 		Scale: *scale, FullScale: *full, Designs: parseDesigns(*designs),
 		Parallel: *parallel, SampleEvery: *sampleEvery,
+		Context: ctx, CellTimeout: *cellTimeout, Retries: *retries, Degrade: *keepGoing,
+	}
+	var journal *tvarak.RunJournal
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "tvarak-sim: -resume requires -journal")
+		os.Exit(2)
+	}
+	if *journalPath != "" {
+		var err error
+		if *resume {
+			journal, err = tvarak.ResumeRunJournal(*journalPath)
+		} else {
+			journal, err = tvarak.NewRunJournal(*journalPath)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+		if *resume {
+			fmt.Fprintf(os.Stderr, "tvarak-sim: resuming from %s: %d record(s) restorable",
+				journal.Path(), journal.Restored())
+			if c := journal.CorruptLines(); c > 0 {
+				fmt.Fprintf(os.Stderr, ", %d corrupt line(s) skipped", c)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+		opts.Journal = journal
 	}
 	var tracer *obs.JSONL
 	if *traceOut != "" {
@@ -114,6 +166,11 @@ func main() {
 	}
 	if *progress {
 		opts.Progress = func(done, total int, r *tvarak.Result, elapsed time.Duration) {
+			if r.Failed() {
+				fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-20s %-28s FAILED: %s\n",
+					done, total, r.Workload, r.Label(), r.Failure)
+				return
+			}
 			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-20s %-28s %8v  cyc=%d nvm=%d+%d $=%d corr=%d\n",
 				done, total, r.Workload, r.Label(), elapsed.Round(time.Millisecond),
 				r.Stats.Cycles, r.Stats.NVM.Data(), r.Stats.NVM.Redundancy(),
@@ -130,6 +187,8 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 	export := obs.NewExport("tvarak-sim")
+	cancelled := false
+	anyFailed := false
 	for _, id := range ids {
 		e, err := tvarak.LookupExperiment(strings.TrimSpace(id))
 		if err != nil {
@@ -144,6 +203,9 @@ func main() {
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			for _, r := range tab.Results {
+				if r.Failed() {
+					continue
+				}
 				row := map[string]any{
 					"experiment": e.ID,
 					"workload":   r.Workload,
@@ -159,12 +221,26 @@ func main() {
 					fatal(err)
 				}
 			}
-			continue
+		} else {
+			fmt.Printf("# %s (%s) — simulated in %v\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond))
+			fmt.Println(tab)
 		}
-		fmt.Printf("# %s (%s) — simulated in %v\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond))
-		fmt.Println(tab)
+		if m := tab.Manifest; m != nil && !m.Clean() {
+			fmt.Fprintf(os.Stderr, "tvarak-sim: %s %s\n", e.ID, m)
+			if len(m.Failures) > 0 {
+				anyFailed = true
+			}
+			if m.Cancelled {
+				cancelled = true
+			}
+		}
+		if cancelled {
+			break // flush what completed; remaining experiments were not started
+		}
 	}
 
+	// Flush every artifact before deciding the exit code: an interrupted
+	// run's value is exactly its partial results.
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
 			fatal(err)
@@ -188,6 +264,18 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+	if cancelled {
+		if journal != nil {
+			journal.Close()
+			fmt.Fprintf(os.Stderr, "tvarak-sim: interrupted — partial results flushed; resume with: tvarak-sim -resume -journal %s\n", journal.Path())
+		} else {
+			fmt.Fprintln(os.Stderr, "tvarak-sim: interrupted — partial results flushed (run with -journal to make interrupted runs resumable)")
+		}
+		os.Exit(130)
+	}
+	if anyFailed {
+		os.Exit(1)
 	}
 }
 

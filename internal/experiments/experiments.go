@@ -10,8 +10,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"tvarak/internal/apps/fio"
 	"tvarak/internal/apps/kvtrees"
@@ -47,6 +49,29 @@ type Options struct {
 	// events, stamped with the cell's workload/design/variant label. It
 	// must be safe for concurrent Trace calls when Parallel != 1.
 	Tracer obs.Tracer
+	// Context, when non-nil, cancels the run cooperatively: in-flight
+	// cells stop at their next simulation phase boundary, completed
+	// results are kept, and the table's Manifest reports the
+	// interruption.
+	Context context.Context
+	// Journal, when non-nil, makes the run crash-safe: each completed
+	// cell's result is journaled durably, and a resumed run (the same
+	// journal reopened) restores journaled cells instead of re-simulating
+	// them. Fingerprints are scoped by experiment id, Scale and
+	// FullScale, so changing any of those re-runs rather than
+	// resurrecting stale results.
+	Journal *harness.Journal
+	// CellTimeout, when non-zero, bounds each cell's wall-clock time; a
+	// cell that exceeds it is marked hung (with a goroutine dump in the
+	// journal) and its worker slot is released.
+	CellTimeout time.Duration
+	// Retries grants failing cells extra attempts before they count as
+	// failed (hung and cancelled cells are never retried).
+	Retries int
+	// Degrade keeps an experiment going past failed cells: the table
+	// renders them as explicit FAILED holes and the Manifest carries the
+	// details, instead of the run aborting.
+	Degrade bool
 }
 
 func (o Options) designs() []param.Design {
@@ -86,13 +111,29 @@ func (o Options) scaleBytes(n uint64) uint64 {
 	return 1
 }
 
+// scope namespaces journal fingerprints: the experiment id plus every
+// option that changes what a cell simulates. (Designs and SampleEvery
+// already shape each cell's own fingerprint.)
+func (o Options) scope(id string) string {
+	return fmt.Sprintf("%s|scale=%g|full=%t", id, o.Scale, o.FullScale)
+}
+
 // run executes the cells on the options' runner and collects the table.
-func (o Options) run(title string, cells []harness.Cell) (*harness.Table, error) {
+func (o Options) run(id, title string, cells []harness.Cell) (*harness.Table, error) {
 	for i := range cells {
 		cells[i].SampleEvery = o.SampleEvery
 		cells[i].Tracer = o.Tracer
 	}
-	rn := harness.Runner{Workers: o.Parallel, Progress: o.Progress}
+	rn := harness.Runner{
+		Workers:     o.Parallel,
+		Progress:    o.Progress,
+		Context:     o.Context,
+		Journal:     o.Journal,
+		Scope:       o.scope(id),
+		CellTimeout: o.CellTimeout,
+		Retries:     o.Retries,
+		Degrade:     o.Degrade,
+	}
 	return rn.RunTable(title, cells)
 }
 
@@ -137,7 +178,7 @@ var cellBuilders = map[string]func(Options) []harness.Cell{
 // runFromCells builds an Experiment.Run function over a cell enumerator.
 func runFromCells(title string, id string) func(Options) (*harness.Table, error) {
 	return func(o Options) (*harness.Table, error) {
-		return o.run(title, cellBuilders[id](o))
+		return o.run(id, title, cellBuilders[id](o))
 	}
 }
 

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -29,6 +30,17 @@ type Options struct {
 	ShrinkBudget int
 	// Progress, if non-nil, is called after each unit (serialized).
 	Progress func(done, total int, u *UnitReport)
+	// Context, when non-nil, cancels the campaign cooperatively: no new
+	// unit starts once it is done, in-flight units unwind at their
+	// engine's next phase boundary, finished units are kept, and the
+	// report marks itself interrupted (nil slots stay in Units order).
+	Context context.Context
+	// Journal, when non-nil, checkpoints each finished unit durably under
+	// a fingerprint of (seed, N, app, design); a resumed campaign (the
+	// same journal reopened) restores journaled units instead of
+	// re-simulating them. Units are deterministic, so a resumed report is
+	// byte-identical to an uninterrupted one.
+	Journal *harness.Journal
 }
 
 // Report is the complete campaign outcome.
@@ -47,6 +59,13 @@ type Report struct {
 	AppPanics         int `json:"appPanics"`
 	CrashPoints       int `json:"crashPoints"`
 	Failures          int `json:"failures"`
+
+	// Resumed counts units restored from a journal instead of re-run;
+	// Interrupted counts unit slots left empty by cancellation. Both are
+	// zero (and absent from the wire format) on a clean uninterrupted
+	// run, preserving byte-determinism of historical reports.
+	Resumed     int `json:"resumed,omitempty"`
+	Interrupted int `json:"interrupted,omitempty"`
 }
 
 type unitKey struct {
@@ -98,11 +117,39 @@ func Run(opt Options) (*Report, error) {
 
 	rep.Units = make([]*UnitReport, len(units))
 	var (
-		mu   sync.Mutex
-		done int
+		mu      sync.Mutex
+		done    int
+		resumed int
 	)
-	_ = harness.Runner{Workers: opt.Workers}.ForEach(len(units), func(i int) error {
-		u := runUnit(units[i].app, units[i].design, units[i].plan)
+	unitFp := func(i int) string {
+		return fmt.Sprintf("fault-unit|seed=%d|n=%d|%s|%s",
+			opt.Seed, opt.N, units[i].app.name, units[i].design)
+	}
+	_ = harness.Runner{Workers: opt.Workers, Context: opt.Context}.ForEach(len(units), func(i int) error {
+		var u *UnitReport
+		if opt.Journal != nil {
+			var ju UnitReport
+			if opt.Journal.Lookup("unit", unitFp(i), &ju) {
+				u = &ju
+				mu.Lock()
+				resumed++
+				mu.Unlock()
+			}
+		}
+		if u == nil {
+			u = runUnit(opt.Context, units[i].app, units[i].design, units[i].plan)
+			if u == nil {
+				// Interrupted mid-unit: the slot stays empty (counted as
+				// Interrupted below), nothing is journaled, and the error
+				// stops the pool from starting further units.
+				return context.Cause(opt.Context)
+			}
+			if opt.Journal != nil {
+				if err := opt.Journal.Record("unit", unitFp(i), u); err != nil {
+					return fmt.Errorf("fault: journaling unit %s: %w", u.Label(), err)
+				}
+			}
+		}
 		rep.Units[i] = u
 		if opt.Progress != nil {
 			mu.Lock()
@@ -112,9 +159,14 @@ func Run(opt Options) (*Report, error) {
 		}
 		return nil // unit failures live in the report, not the pool
 	})
+	rep.Resumed = resumed
 
 	var failed []string
 	for i, u := range rep.Units {
+		if u == nil { // slot never ran: the campaign was cancelled
+			rep.Interrupted++
+			continue
+		}
 		rep.Fired += u.Fired
 		rep.SilentCorruptions += u.SilentCorruptions
 		rep.Undetected += u.Undetected
@@ -136,6 +188,14 @@ func Run(opt Options) (*Report, error) {
 	if len(failed) > 0 {
 		return rep, fmt.Errorf("fault: %d campaign unit(s) failed: %s",
 			len(failed), strings.Join(failed, ", "))
+	}
+	if rep.Interrupted > 0 {
+		var cause error
+		if opt.Context != nil {
+			cause = context.Cause(opt.Context)
+		}
+		return rep, fmt.Errorf("fault: campaign interrupted, %d unit(s) not run: %w",
+			rep.Interrupted, cause)
 	}
 	return rep, nil
 }

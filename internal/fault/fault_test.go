@@ -2,10 +2,13 @@ package fault
 
 import (
 	"bytes"
+	"context"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
+	"tvarak/internal/harness"
 	"tvarak/internal/param"
 )
 
@@ -162,7 +165,7 @@ func TestShrinkMinimizesFailingUnit(t *testing.T) {
 		t.Fatal(err)
 	}
 	plan := NewPlan("fio", 11, 8)
-	full := runUnit(app, param.Tvarak, plan)
+	full := runUnit(nil, app, param.Tvarak, plan)
 	if full.Failure == "" {
 		t.Fatal("hook did not fail the full unit")
 	}
@@ -206,5 +209,87 @@ func TestAppNames(t *testing.T) {
 	}
 	if _, err := lookupApp("nope"); err == nil {
 		t.Fatal("lookupApp accepted an unknown app")
+	}
+}
+
+func TestCampaignJournalResumeByteIdentical(t *testing.T) {
+	opt := Options{Seed: 7, N: 4, Workers: 2, Apps: []string{"stream", "fio"}}
+	clean, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cleanBuf bytes.Buffer
+	if err := WriteJSONL(&cleanBuf, clean); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	j1, err := harness.NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Journal = j1
+	if _, err := Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	j1.Close()
+
+	// Resume with every unit journaled: nothing re-simulates, and the
+	// report is byte-identical to the uninterrupted run's.
+	j2, err := harness.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	opt.Journal = j2
+	rep, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resumed != len(rep.Units) {
+		t.Fatalf("Resumed = %d, want all %d units", rep.Resumed, len(rep.Units))
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), cleanBuf.Bytes()) {
+		t.Error("resumed campaign report is not byte-identical to the uninterrupted run's")
+	}
+}
+
+func TestRunUnitInterruptedMidFlight(t *testing.T) {
+	// A cancelled context reaches the unit's engine: the run unwinds at
+	// the next phase boundary and the unit returns nil — no half-run
+	// report that would blame the interruption's sweep noise on the
+	// design, and nothing for the campaign to journal.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	app, err := lookupApp("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := runUnit(ctx, app, param.Tvarak, NewPlan("stream", 3, 4)); rep != nil {
+		t.Fatalf("interrupted unit returned a report: %+v", rep)
+	}
+}
+
+func TestCampaignCancellationLeavesPartialReport(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: no unit may start
+	rep, err := Run(Options{Seed: 7, N: 2, Workers: 1, Apps: []string{"stream"}, Context: ctx})
+	if err == nil {
+		t.Fatal("expected an interruption error")
+	}
+	if rep.Interrupted != len(rep.Units) {
+		t.Fatalf("Interrupted = %d, want all %d units", rep.Interrupted, len(rep.Units))
+	}
+	// A partial report must still serialize (nil unit slots skipped).
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"interrupted":2`)) {
+		t.Errorf("partial report summary missing interruption accounting:\n%s", buf.String())
 	}
 }

@@ -40,6 +40,9 @@ func WriteJSONL(w io.Writer, r *Report) error {
 		Injections []*InjectionRecord `json:"injections,omitempty"` // suppressed
 	}
 	for _, u := range r.Units {
+		if u == nil { // slot left empty by a cancelled campaign
+			continue
+		}
 		for _, rec := range u.Injections {
 			if err := enc.Encode(injLine{"injection", u.App, u.Design, rec}); err != nil {
 				return err
@@ -60,9 +63,15 @@ func WriteJSONL(w io.Writer, r *Report) error {
 		AppPanics         int    `json:"appPanics"`
 		CrashPoints       int    `json:"crashPoints"`
 		Failures          int    `json:"failures"`
+		// Interrupted appears only on partial (cancelled) reports; Resumed
+		// is deliberately NOT serialized — a resumed run's JSONL must be
+		// byte-identical to an uninterrupted run's.
+		Interrupted int `json:"interrupted,omitempty"`
 	}
-	if err := enc.Encode(summary{"summary", len(r.Units), r.Fired,
-		r.SilentCorruptions, r.Undetected, r.Unrecovered, r.AppPanics, r.CrashPoints, r.Failures}); err != nil {
+	if err := enc.Encode(summary{Type: "summary", Units: len(r.Units), Fired: r.Fired,
+		SilentCorruptions: r.SilentCorruptions, Undetected: r.Undetected,
+		Unrecovered: r.Unrecovered, AppPanics: r.AppPanics, CrashPoints: r.CrashPoints,
+		Failures: r.Failures, Interrupted: r.Interrupted}); err != nil {
 		return err
 	}
 	return bw.Flush()

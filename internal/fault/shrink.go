@@ -14,7 +14,7 @@ import (
 // at budget).
 func shrinkUnit(app appSpec, design param.Design, plan Plan, budget int) ([]Spec, int) {
 	keep, runs := ddmin(plan.Injections(), budget, func(k map[int]bool) bool {
-		return runUnit(app, design, plan.withSpecs(k)).Failure != ""
+		return runUnit(nil, app, design, plan.withSpecs(k)).Failure != ""
 	})
 	return flatSpecs(plan.withSpecs(keep)), runs
 }

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -106,6 +107,9 @@ type unitCtx struct {
 	plan   Plan
 	rep    *UnitReport
 
+	ctx         context.Context // nil = never cancelled
+	interrupted bool            // ctx fired mid-unit; the report is void
+
 	sys *harness.System
 	o   *oracle.Oracle
 	w   harness.Workload
@@ -118,8 +122,12 @@ type unitCtx struct {
 // runUnit executes one (app, design) unit of the campaign plan and
 // returns its report; failures (including panics from the simulated
 // machine, e.g. an engine invariant trip) are recorded on the report,
-// never propagated — the shrinker re-runs units freely.
-func runUnit(app appSpec, design param.Design, plan Plan) (rep *UnitReport) {
+// never propagated — the shrinker re-runs units freely. A non-nil ctx
+// cancels the unit cooperatively at the engine's next phase boundary;
+// an interrupted unit returns nil (a half-run unit's report would fail
+// the sweeps for reasons that are the interruption's fault, not the
+// design's).
+func runUnit(ctx context.Context, app appSpec, design param.Design, plan Plan) (rep *UnitReport) {
 	rep = &UnitReport{App: plan.App, Design: design.String(), Rounds: len(plan.Rounds)}
 	defer func() {
 		if r := recover(); r != nil {
@@ -127,7 +135,7 @@ func runUnit(app appSpec, design param.Design, plan Plan) (rep *UnitReport) {
 		}
 	}()
 	u := &unitCtx{
-		app: app, design: design, plan: plan, rep: rep,
+		app: app, design: design, plan: plan, rep: rep, ctx: ctx,
 		groups:   make(map[uint64]bool),
 		sweepBad: make(map[uint64]bool),
 	}
@@ -138,6 +146,9 @@ func runUnit(app appSpec, design param.Design, plan Plan) (rep *UnitReport) {
 		return rep
 	}
 	u.sys = sys
+	if ctx != nil {
+		sys.Eng.SetContext(ctx)
+	}
 	u.w = app.make(plan.Seed)
 	if err := u.w.Setup(sys); err != nil {
 		rep.fail("setup: %v", err)
@@ -148,9 +159,15 @@ func runUnit(app appSpec, design param.Design, plan Plan) (rep *UnitReport) {
 	// Warmup segment: round 0's targets come from lines the workload
 	// demonstrably writes.
 	u.segment(plan.Seed ^ 0x5deece66d)
+	if u.interrupted {
+		return nil
+	}
 
 	for ri, round := range plan.Rounds {
 		u.runRound(ri, round)
+		if u.interrupted {
+			return nil
+		}
 		if rep.Failure != "" {
 			return rep
 		}
@@ -189,6 +206,9 @@ func (u *unitCtx) runWorkers(workers []func(*sim.Core)) {
 		}
 	}
 	u.sys.Eng.Run(wrapped)
+	if u.ctx != nil && u.ctx.Err() != nil {
+		u.interrupted = true
+	}
 }
 
 func (u *unitCtx) runRound(ri int, round Round) {
@@ -201,6 +221,9 @@ func (u *unitCtx) runRound(ri int, round Round) {
 		}
 	}
 	u.segment(round.OpsSeed)
+	if u.interrupted {
+		return
+	}
 	u.resolveWriteBugs(thisRound)
 	u.sweep()
 	u.resolveAfterSweep(thisRound)

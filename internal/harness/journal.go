@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+)
+
+// JournalVersion is the version stamped on every journal record. Records
+// with a different version are ignored on load (treated like corruption),
+// so a journal written by an incompatible build resumes nothing instead of
+// resurrecting mismatched results.
+const JournalVersion = 1
+
+// Journal is a crash-safe per-run checkpoint log: one JSONL record per
+// completed unit of work, each fsync'd before the completion is
+// acknowledged, keyed by a stable fingerprint. A run that was interrupted
+// — SIGINT, crash, power loss — resumes by reopening the journal: units
+// whose fingerprints are already recorded are restored instead of re-run,
+// and because every unit is deterministic, the resumed run's output is
+// byte-identical to an uninterrupted run.
+//
+// The format is line-oriented JSON so a torn final write (the crash case)
+// damages at most the last line; loading skips unparseable or
+// wrong-version lines and counts them (CorruptLines) rather than failing,
+// losing only the records on those lines.
+//
+// A Journal is safe for concurrent use by the parallel runner's workers.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	seen     map[journalKey]json.RawMessage
+	restored int
+	corrupt  int
+	appended int
+}
+
+type journalKey struct{ kind, fp string }
+
+// journalRecord is the wire format: version, record kind (RecordCell
+// writes "cell", failures "fail", hang stack dumps "hang", the fault
+// campaign "unit"), the unit fingerprint, and the kind-specific payload.
+type journalRecord struct {
+	V    int             `json:"v"`
+	Kind string          `json:"kind"`
+	Fp   string          `json:"fp,omitempty"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// NewJournal creates (or truncates) a journal at path, starting a fresh
+// run with no restorable records.
+func NewJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: creating journal: %w", err)
+	}
+	return &Journal{f: f, path: path, seen: make(map[journalKey]json.RawMessage)}, nil
+}
+
+// OpenJournal opens an existing journal for resumption: every well-formed
+// record already in the file becomes restorable via Lookup, and new
+// records append after them. Corrupted or truncated lines (a crash mid-
+// write) are skipped and counted, never fatal. The file must exist — use
+// NewJournal to start a fresh run.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, seen: make(map[journalKey]json.RawMessage)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20) // series-bearing cell records can be large
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.V != JournalVersion || rec.Kind == "" {
+			j.corrupt++
+			continue
+		}
+		j.seen[journalKey{rec.Kind, rec.Fp}] = append(json.RawMessage(nil), rec.Data...)
+		j.restored++
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: reading journal: %w", err)
+	}
+	// Append after the last complete line: a torn final line stays in the
+	// file (harmlessly — it was counted corrupt) and the next record
+	// starts on a fresh line.
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: seeking journal: %w", err)
+	}
+	if j.corrupt > 0 {
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: repairing journal tail: %w", err)
+		}
+	}
+	return j, nil
+}
+
+// Record durably appends one record: the payload is marshalled, written as
+// one line, and fsync'd before Record returns, so an acknowledged record
+// survives a crash. It also becomes immediately restorable via Lookup.
+func (j *Journal) Record(kind, fp string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("harness: marshalling journal record: %w", err)
+	}
+	line, err := json.Marshal(journalRecord{V: JournalVersion, Kind: kind, Fp: fp, Data: data})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("harness: appending journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("harness: syncing journal: %w", err)
+	}
+	j.seen[journalKey{kind, fp}] = data
+	j.appended++
+	return nil
+}
+
+// Lookup restores the payload of the (kind, fingerprint) record into out,
+// reporting whether such a record exists. A payload that no longer decodes
+// into out's type reports false, like a corrupt line.
+func (j *Journal) Lookup(kind, fp string, out any) bool {
+	j.mu.Lock()
+	data, ok := j.seen[journalKey{kind, fp}]
+	j.mu.Unlock()
+	if !ok || data == nil {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+// Restored is how many well-formed records were loaded from disk when the
+// journal was opened for resumption.
+func (j *Journal) Restored() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.restored
+}
+
+// CorruptLines is how many unparseable or wrong-version lines were
+// skipped on load.
+func (j *Journal) CorruptLines() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.corrupt
+}
+
+// Appended is how many records this process added.
+func (j *Journal) Appended() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Fingerprint is the cell's stable identity within a scope (the experiment
+// id plus run-shaping options): the workload's renamed label, the variant,
+// a hash of the full machine configuration and the sampling granularity.
+// Identical cells fingerprint identically — which is sound, because
+// identical cells are deterministic and produce identical results — and
+// any configuration or scale change misses the journal and re-runs, never
+// resurrecting a stale result.
+func (c Cell) Fingerprint(scope string) string {
+	name := c.Make().Name()
+	if c.Rename != nil {
+		name = c.Rename(name)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|sample=%d|cfg=%+v", scope, name, c.Variant, c.SampleEvery, *c.Config)
+	return fmt.Sprintf("%s/%s/%s[%s]#%016x", scope, name, c.Config.Design, c.Variant, h.Sum64())
+}
+
+// hangRecord is the payload journaled when the watchdog marks a cell hung:
+// the attempt that hung and a dump of every goroutine's stack at detection
+// time, for post-mortem debugging of the stuck workload.
+type hangRecord struct {
+	Label   string `json:"label"`
+	Attempt int    `json:"attempt"`
+	Stacks  string `json:"stacks"`
+}

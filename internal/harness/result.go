@@ -22,7 +22,17 @@ type Result struct {
 	// Series is the run's epoch time series, populated only when the run
 	// was sampled (Observation.SampleEvery / the -sample-every flag).
 	Series []obs.Sample
+
+	// Failure, when non-empty, marks this as a degraded-mode placeholder
+	// for a cell that failed (Runner.Degrade): Stats are zero and tables
+	// render the row as an explicit hole. Failed results never serve as a
+	// baseline and are excluded from exports.
+	Failure string `json:",omitempty"`
 }
+
+// Failed reports whether this result is a degraded-mode failure
+// placeholder rather than a real measurement.
+func (r *Result) Failed() bool { return r.Failure != "" }
 
 // Label is the display name: the design plus any variant.
 func (r *Result) Label() string {
@@ -40,6 +50,12 @@ func (r *Result) Runtime() uint64 { return r.Stats.Cycles }
 type Table struct {
 	Title   string
 	Results []*Result
+
+	// Manifest, when non-nil, is the run's completion accounting
+	// (failures, interrupted and never-attempted cells); RunTable always
+	// attaches it. A partial table plus its manifest together tell the
+	// whole story of a degraded or cancelled run.
+	Manifest *Manifest
 }
 
 // Add appends a result.
@@ -52,7 +68,7 @@ func (t *Table) Add(r *Result) { t.Results = append(t.Results, r) }
 func (t *Table) baseline(workload string) *Result {
 	var fallback *Result
 	for _, r := range t.Results {
-		if r.Workload != workload || r.Design != param.Baseline {
+		if r.Workload != workload || r.Design != param.Baseline || r.Failed() {
 			continue
 		}
 		if r.Variant == "" {
@@ -97,6 +113,14 @@ func (t *Table) String() string {
 		"workload", "design", "runtime(cyc)", "vs base", "energy(uJ)", "vs base",
 		"nvm data", "nvm redun", "cache acc")
 	for _, r := range t.Results {
+		if r.Failed() {
+			reason := r.Failure
+			if i := strings.IndexByte(reason, '\n'); i >= 0 {
+				reason = reason[:i]
+			}
+			fmt.Fprintf(&b, "%-20s %-28s FAILED: %s\n", r.Workload, r.Label(), reason)
+			continue
+		}
 		fmt.Fprintf(&b, "%-20s %-28s %13d %8s %11.1f %8s %11d %11d %12d\n",
 			r.Workload, r.Label(), r.Runtime(), pct(t.Overhead(r)),
 			r.Stats.EnergyPJ/1e6, pct(t.EnergyOverhead(r)),
@@ -107,12 +131,13 @@ func (t *Table) String() string {
 
 // Find returns the result for (workload, design), preferring the plain
 // (empty-variant) run when ablation or sweep variants are present, and
-// falling back to the first matching variant otherwise. Use FindVariant to
-// address a specific variant.
+// falling back to the first matching variant otherwise. Failure
+// placeholders are never returned. Use FindVariant to address a specific
+// variant.
 func (t *Table) Find(workload string, d param.Design) *Result {
 	var fallback *Result
 	for _, r := range t.Results {
-		if r.Workload != workload || r.Design != d {
+		if r.Workload != workload || r.Design != d || r.Failed() {
 			continue
 		}
 		if r.Variant == "" {
@@ -142,11 +167,16 @@ func pct(f float64) string {
 }
 
 // ExportRuns converts the table's results, in insertion order, into
-// machine-readable export records tagged with the experiment id. Append
-// the records to an obs.Export and serialize with WriteJSON/WriteCSV.
+// machine-readable export records tagged with the experiment id. Failure
+// placeholders are skipped — the export schema carries measurements, and
+// the manifest (not the export) accounts for holes. Append the records to
+// an obs.Export and serialize with WriteJSON/WriteCSV.
 func (t *Table) ExportRuns(experiment string) []obs.RunRecord {
 	recs := make([]obs.RunRecord, 0, len(t.Results))
 	for _, r := range t.Results {
+		if r.Failed() {
+			continue
+		}
 		recs = append(recs, obs.RunRecord{
 			Experiment:      experiment,
 			Workload:        r.Workload,

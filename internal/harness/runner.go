@@ -1,7 +1,12 @@
 package harness
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,8 +24,9 @@ type Cell struct {
 	// Config: builders that mutate one (feature ablations, way sweeps,
 	// DIMM sweeps) allocate a fresh Config per cell.
 	Config *param.Config
-	// Make builds the workload. It is called inside the executing worker,
-	// so factories must not capture shared mutable state; capturing
+	// Make builds the workload. It is called inside the executing worker
+	// (and, when journaling, once more to fingerprint the cell), so
+	// factories must not capture shared mutable state; capturing
 	// configuration values and deterministic seeds is fine.
 	Make func() Workload
 	// Variant labels sub-configurations within a design (Fig. 9 ablation
@@ -40,8 +46,9 @@ type Cell struct {
 	Tracer obs.Tracer
 }
 
-// run executes the cell on a fresh system and applies its labelling.
-func (c Cell) run() (*Result, error) {
+// run executes the cell on a fresh system and applies its labelling. The
+// context cancels the simulation cooperatively at phase boundaries.
+func (c Cell) run(ctx context.Context) (*Result, error) {
 	w := c.Make()
 	ob := Observation{SampleEvery: c.SampleEvery}
 	if c.Tracer != nil {
@@ -51,7 +58,7 @@ func (c Cell) run() (*Result, error) {
 		}
 		ob.Tracer = obs.WithSource(c.Tracer, src)
 	}
-	r, err := RunObserved(c.Config, w, ob)
+	r, err := RunObservedCtx(ctx, c.Config, w, ob)
 	if err != nil {
 		return nil, err
 	}
@@ -67,11 +74,95 @@ func (c Cell) run() (*Result, error) {
 // serializes calls, so implementations need no locking of their own.
 type Progress func(done, total int, r *Result, elapsed time.Duration)
 
+// CellFailure describes one cell that exhausted its attempts without
+// producing a result.
+type CellFailure struct {
+	// Index is the cell's position in the cells slice.
+	Index int `json:"index"`
+	// Label names the cell (workload/design[variant]).
+	Label string `json:"label"`
+	// Err is the final attempt's error.
+	Err string `json:"err"`
+	// Stack is the panic stack (contained panics) or the all-goroutine
+	// dump the watchdog took (hung cells); empty for plain errors.
+	Stack string `json:"stack,omitempty"`
+	// Hung marks a cell that exceeded its deadline or was abandoned by
+	// the watchdog rather than failing with an error of its own.
+	Hung bool `json:"hung,omitempty"`
+	// Attempts is how many times the cell ran before giving up.
+	Attempts int `json:"attempts"`
+}
+
+// Manifest summarizes a run's partial-completion state: it is the durable
+// answer to "what did this run actually produce" when cells failed, hung,
+// or the run was interrupted. A journaling run appends it as the final
+// journal record whenever it is not clean.
+type Manifest struct {
+	// Total is the number of cells the run was asked for.
+	Total int `json:"total"`
+	// Completed counts cells with a real result, including restored ones.
+	Completed int `json:"completed"`
+	// FromJournal counts completed cells restored from the journal
+	// instead of re-simulated.
+	FromJournal int `json:"fromJournal,omitempty"`
+	// Failures lists cells that exhausted their attempts, earliest first.
+	Failures []CellFailure `json:"failures,omitempty"`
+	// Interrupted lists cells whose attempt was cut short by
+	// cancellation; a resumed run re-executes them.
+	Interrupted []int `json:"interrupted,omitempty"`
+	// NotAttempted lists cells never started — claimed or enumerated
+	// after a failure or cancellation stopped the pool.
+	NotAttempted []int `json:"notAttempted,omitempty"`
+	// Cancelled reports that the run's context was cancelled.
+	Cancelled bool `json:"cancelled,omitempty"`
+}
+
+// Clean reports whether every cell completed and nothing was interrupted.
+func (m *Manifest) Clean() bool {
+	return m.Completed == m.Total && len(m.Failures) == 0 &&
+		len(m.Interrupted) == 0 && len(m.NotAttempted) == 0 && !m.Cancelled
+}
+
+// String renders the human-readable summary, one line plus one per failure.
+func (m *Manifest) String() string {
+	s := fmt.Sprintf("manifest: %d/%d cells completed", m.Completed, m.Total)
+	if m.FromJournal > 0 {
+		s += fmt.Sprintf(" (%d restored from journal)", m.FromJournal)
+	}
+	if n := len(m.Failures); n > 0 {
+		s += fmt.Sprintf(", %d failed", n)
+	}
+	if n := len(m.Interrupted); n > 0 {
+		s += fmt.Sprintf(", %d interrupted", n)
+	}
+	if n := len(m.NotAttempted); n > 0 {
+		s += fmt.Sprintf(", %d not attempted", n)
+	}
+	if m.Cancelled {
+		s += " [cancelled]"
+	}
+	for _, f := range m.Failures {
+		kind := "failed"
+		if f.Hung {
+			kind = "hung"
+		}
+		s += fmt.Sprintf("\n  cell %d (%s) %s after %d attempt(s): %s", f.Index, f.Label, kind, f.Attempts, f.Err)
+	}
+	return s
+}
+
 // Runner executes cells across a bounded worker pool and reassembles the
 // results in cell order, regardless of completion order. Because every
 // cell is deterministic and isolated, a table rendered from a parallel run
 // is byte-identical to one from a sequential run of the same cells — the
 // determinism gate in the tests asserts exactly that.
+//
+// The zero value is the strict historical runner. The resilience fields
+// opt into long-run behaviour: cooperative cancellation (Context), durable
+// checkpoint/resume (Journal), per-cell deadlines with a goroutine-dump
+// watchdog (CellTimeout), bounded retry (Retries/Backoff), and degraded
+// completion that renders failed cells as explicit holes instead of
+// aborting the run (Degrade).
 type Runner struct {
 	// Workers bounds how many cells simulate concurrently. Zero or
 	// negative means runtime.NumCPU(); 1 reproduces the historical
@@ -79,8 +170,44 @@ type Runner struct {
 	// failing cell).
 	Workers int
 	// Progress, if non-nil, is invoked after each cell completes, in
-	// completion order.
+	// completion order (including cells restored from the journal and,
+	// under Degrade, failure placeholders).
 	Progress Progress
+	// Context, when non-nil, cancels the run cooperatively: no new cell
+	// is claimed once it is done, and in-flight cells stop at their next
+	// simulation phase boundary. Interrupted cells produce no result and
+	// are re-executed by a resumed run.
+	Context context.Context
+	// Journal, when non-nil, makes the run crash-safe: each completed
+	// cell's result is fsync'd under its fingerprint before completion is
+	// acknowledged, and cells whose fingerprints the journal already
+	// holds are restored instead of re-run.
+	Journal *Journal
+	// Scope namespaces journal fingerprints (the experiment id plus any
+	// options that shape the cells, e.g. scale).
+	Scope string
+	// CellTimeout, when non-zero, bounds one attempt of one cell. The
+	// deadline propagates into the simulation and normally stops it at a
+	// phase boundary; a cell that still does not return within
+	// WatchdogGrace extra time is marked hung, its goroutine dump is
+	// journaled, and its worker slot is released (the stuck goroutine is
+	// abandoned — Go cannot kill it).
+	CellTimeout time.Duration
+	// WatchdogGrace is the extra wall-clock allowed past CellTimeout (or
+	// past cancellation) for a cell to unwind cooperatively before the
+	// watchdog abandons it. Zero selects 2s.
+	WatchdogGrace time.Duration
+	// Retries is how many extra attempts a failing cell gets before it
+	// counts as failed. Hung and cancelled cells are never retried.
+	Retries int
+	// Backoff is the pause before retry attempt k, scaled linearly
+	// (k*Backoff). Zero retries immediately.
+	Backoff time.Duration
+	// Degrade keeps the run going past exhausted cells: instead of
+	// aborting, the failed cell yields a placeholder Result whose Failure
+	// field is set (tables render it as an explicit hole) plus a
+	// Manifest entry, and every sibling cell still runs.
+	Degrade bool
 }
 
 func (rn Runner) workers(n int) int {
@@ -94,17 +221,36 @@ func (rn Runner) workers(n int) int {
 	return w
 }
 
-// ForEach runs job(i) for every i in [0, n) across the worker pool.
-// Indices are claimed in order; after a job fails, no new index is
-// claimed (in-flight jobs finish), and the error of the earliest-index
-// failure is returned. A job that must never stop its siblings (the
-// fault-injection campaign records per-unit failures in its report
-// instead) simply returns nil and keeps its own accounting.
-func (rn Runner) ForEach(n int, job func(i int) error) error {
-	if n <= 0 {
+func (rn Runner) ctxErr() error {
+	if rn.Context == nil {
 		return nil
 	}
+	return rn.Context.Err()
+}
+
+// ForEach runs job(i) for every i in [0, n) across the worker pool.
+// Indices are claimed in order; after a job fails (or the Context is
+// cancelled), no new index is claimed — in-flight jobs finish. The
+// returned error aggregates every job failure with errors.Join, earliest
+// index first, so the primary (first) error never depends on the worker
+// count. A job that must never stop its siblings (the fault-injection
+// campaign records per-unit failures in its report instead) simply
+// returns nil and keeps its own accounting.
+func (rn Runner) ForEach(n int, job func(i int) error) error {
+	err, _ := rn.forEach(n, job)
+	return err
+}
+
+// forEach is ForEach plus the skipped-index accounting: it returns the
+// indices that were never attempted because a failure or cancellation
+// stopped the pool first — including indices a worker claimed from the
+// counter but declined to run, which earlier versions silently dropped.
+func (rn Runner) forEach(n int, job func(int) error) (error, []int) {
+	if n <= 0 {
+		return nil, nil
+	}
 	errs := make([]error, n)
+	ran := make([]bool, n) // indexed writes only, each index claimed once
 	var (
 		next   atomic.Int64
 		failed atomic.Bool
@@ -117,9 +263,13 @@ func (rn Runner) ForEach(n int, job func(i int) error) error {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
-				if i >= n || failed.Load() {
+				if i >= n {
 					return
 				}
+				if failed.Load() || rn.ctxErr() != nil {
+					return // i stays !ran — reported as not attempted
+				}
+				ran[i] = true
 				if err := job(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -129,60 +279,330 @@ func (rn Runner) ForEach(n int, job func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	var joined []error
+	var skipped []int
+	for i := range errs {
+		if errs[i] != nil {
+			joined = append(joined, errs[i])
+		}
+		if !ran[i] {
+			skipped = append(skipped, i)
 		}
 	}
-	return nil
+	return errors.Join(joined...), skipped
+}
+
+// cellOutcome is what one cell ultimately produced.
+type cellOutcome struct {
+	r           *Result
+	fromJournal bool
+	cancelled   bool
+	fail        *CellFailure
+}
+
+// attemptResult is one attempt's raw outcome.
+type attemptResult struct {
+	r     *Result
+	err   error
+	stack string
+	hung  bool
+}
+
+// RunManifest executes every cell and returns the results indexed exactly
+// like cells (nil for cells that produced nothing), plus the run's
+// manifest. Without Degrade, the error aggregates every failed cell
+// (earliest first); with Degrade, failed cells become placeholder results
+// and the error stays nil. Cancellation is never an error here — the
+// manifest reports it.
+func (rn Runner) RunManifest(cells []Cell) ([]*Result, *Manifest, error) {
+	n := len(cells)
+	man := &Manifest{Total: n}
+	if n == 0 {
+		return nil, man, nil
+	}
+	results := make([]*Result, n)
+	var (
+		mu   sync.Mutex // serializes Progress, the done counter and manifest appends
+		done int
+	)
+	err, skipped := rn.forEach(n, func(i int) error {
+		start := time.Now()
+		out := rn.runCell(i, cells[i])
+		mu.Lock()
+		switch {
+		case out.fail != nil:
+			man.Failures = append(man.Failures, *out.fail)
+			if rn.Degrade {
+				results[i] = failureResult(cells[i], i, out.fail)
+			}
+		case out.cancelled:
+			man.Interrupted = append(man.Interrupted, i)
+		case out.r != nil:
+			results[i] = out.r
+			man.Completed++
+			if out.fromJournal {
+				man.FromJournal++
+			}
+		}
+		if results[i] != nil {
+			done++
+			if rn.Progress != nil {
+				rn.Progress(done, n, results[i], time.Since(start))
+			}
+		}
+		mu.Unlock()
+		if out.fail != nil && !rn.Degrade {
+			return fmt.Errorf("cell %d (%s): %s", i, out.fail.Label, out.fail.Err)
+		}
+		return nil
+	})
+	man.NotAttempted = skipped
+	man.Cancelled = rn.ctxErr() != nil
+	sort.Slice(man.Failures, func(a, b int) bool { return man.Failures[a].Index < man.Failures[b].Index })
+	sort.Ints(man.Interrupted)
+	if rn.Journal != nil && !man.Clean() {
+		_ = rn.Journal.Record("manifest", rn.Scope, man)
+	}
+	return results, man, err
 }
 
 // Run executes every cell and returns the results indexed exactly like
 // cells. On failure it returns the error of the earliest (by cell order)
-// cell that failed; cells not yet started when a failure is observed are
-// skipped, but any earlier cell has always already been claimed, so the
-// reported error does not depend on the worker count.
+// cell that failed, joined with every other failure; cells not yet
+// started when a failure is observed are skipped and reported in the
+// manifest of RunManifest. Cancellation of the Context is returned as an
+// error wrapping its cause. Under Degrade, failed cells appear as
+// placeholder results instead of errors.
 func (rn Runner) Run(cells []Cell) ([]*Result, error) {
-	n := len(cells)
-	if n == 0 {
-		return nil, nil
-	}
-	results := make([]*Result, n)
-	var (
-		mu   sync.Mutex // serializes Progress and the done counter
-		done int
-	)
-	err := rn.ForEach(n, func(i int) error {
-		start := time.Now()
-		r, err := cells[i].run()
-		results[i] = r
-		if err != nil {
-			return err
-		}
-		if rn.Progress != nil {
-			mu.Lock()
-			done++
-			rn.Progress(done, n, r, time.Since(start))
-			mu.Unlock()
-		}
-		return nil
-	})
+	rs, man, err := rn.RunManifest(cells)
 	if err != nil {
 		return nil, err
 	}
-	return results, nil
+	if man.Cancelled {
+		return nil, fmt.Errorf("harness: run cancelled: %w", context.Cause(rn.Context))
+	}
+	return rs, nil
 }
 
 // RunTable executes the cells and collects the results, in cell order,
-// into a titled table.
+// into a titled table carrying the run's manifest. Under Degrade or
+// cancellation the table is partial: failed cells render as explicit
+// holes and interrupted cells are simply absent — consult Manifest.
 func (rn Runner) RunTable(title string, cells []Cell) (*Table, error) {
-	rs, err := rn.Run(cells)
+	rs, man, err := rn.RunManifest(cells)
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{Title: title}
+	t := &Table{Title: title, Manifest: man}
 	for _, r := range rs {
-		t.Add(r)
+		if r != nil {
+			t.Add(r)
+		}
 	}
 	return t, nil
+}
+
+// runCell drives one cell to its final outcome: journal restore, the
+// attempt/retry loop with watchdog containment, and checkpointing.
+func (rn Runner) runCell(i int, c Cell) cellOutcome {
+	var fp string
+	if rn.Journal != nil {
+		fp = safeFingerprint(c, rn.Scope, i)
+		var r Result
+		if rn.Journal.Lookup("cell", fp, &r) {
+			return cellOutcome{r: &r, fromJournal: true}
+		}
+	}
+	attempts := rn.Retries + 1
+	for a := 1; ; a++ {
+		ar := rn.attemptCell(c)
+		if ar.err == nil {
+			if rn.Journal != nil {
+				if err := rn.Journal.Record("cell", fp, ar.r); err != nil {
+					// A checkpoint that cannot be made durable is a cell
+					// failure: acknowledging it would let a crash lose
+					// acknowledged work.
+					ar = attemptResult{err: fmt.Errorf("harness: journaling cell: %w", err)}
+				}
+			}
+			if ar.err == nil {
+				if c.Tracer != nil {
+					obs.WithSource(c.Tracer, safeLabel(c, i)).Trace(obs.Event{
+						Kind: obs.EvCheckpoint, Cycle: ar.r.Stats.Cycles, Aux: uint64(i),
+					})
+				}
+				return cellOutcome{r: ar.r}
+			}
+		}
+		if errors.Is(ar.err, context.Canceled) && !ar.hung {
+			return cellOutcome{cancelled: true}
+		}
+		if ar.hung || a >= attempts {
+			// Terminal: only now pay for the label (safeLabel re-invokes
+			// the workload factory, which stateful factories notice).
+			fail := &CellFailure{
+				Index: i, Label: safeLabel(c, i), Err: ar.err.Error(),
+				Stack: ar.stack, Hung: ar.hung, Attempts: a,
+			}
+			if rn.Journal != nil {
+				if ar.hung {
+					stacks := ar.stack
+					if stacks == "" {
+						stacks = allStacks()
+					}
+					_ = rn.Journal.Record("hang", fp, hangRecord{Label: fail.Label, Attempt: a, Stacks: stacks})
+				}
+				_ = rn.Journal.Record("fail", fp, fail)
+			}
+			return cellOutcome{fail: fail}
+		}
+		if !rn.backoff(a) {
+			return cellOutcome{cancelled: true}
+		}
+	}
+}
+
+// backoff pauses a*Backoff before retry attempt a+1, abandoning the wait
+// (and reporting false) if the run is cancelled meanwhile.
+func (rn Runner) backoff(a int) bool {
+	if rn.Backoff <= 0 {
+		return rn.ctxErr() == nil
+	}
+	t := time.NewTimer(time.Duration(a) * rn.Backoff)
+	defer t.Stop()
+	var done <-chan struct{}
+	if rn.Context != nil {
+		done = rn.Context.Done()
+	}
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// attemptCell runs one attempt of one cell on its own goroutine with
+// panic containment, a deadline that propagates into the simulation, and
+// a hard watchdog that abandons the goroutine if it does not unwind.
+func (rn Runner) attemptCell(c Cell) attemptResult {
+	parent := rn.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	cctx := parent
+	if rn.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(parent, rn.CellTimeout)
+		defer cancel()
+	}
+	done := make(chan attemptResult, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				done <- attemptResult{
+					err:   fmt.Errorf("harness: cell panicked: %v", p),
+					stack: string(debug.Stack()),
+				}
+			}
+		}()
+		r, err := c.run(cctx)
+		done <- attemptResult{r: r, err: err}
+	}()
+	grace := rn.WatchdogGrace
+	if grace <= 0 {
+		grace = 2 * time.Second
+	}
+	var hardC <-chan time.Time
+	if rn.CellTimeout > 0 {
+		hard := time.NewTimer(rn.CellTimeout + grace)
+		defer hard.Stop()
+		hardC = hard.C
+	}
+	var parentDone <-chan struct{}
+	if rn.Context != nil {
+		parentDone = rn.Context.Done()
+	}
+	select {
+	case ar := <-done:
+		return classify(ar)
+	case <-hardC:
+	case <-parentDone:
+		// Cancelled: give the cell one grace period to unwind at its next
+		// phase boundary before abandoning it.
+		g := time.NewTimer(grace)
+		defer g.Stop()
+		select {
+		case ar := <-done:
+			return classify(ar)
+		case <-g.C:
+		case <-hardC:
+		}
+	}
+	// Watchdog: the cell neither finished nor unwound. Its goroutine
+	// cannot be killed — abandon it (it keeps its System alive until it
+	// ever returns) and release the worker slot with a full dump.
+	return attemptResult{
+		err:  fmt.Errorf("harness: cell watchdog: no result within deadline+%v grace, worker abandoned", grace),
+		hung: true, stack: allStacks(),
+	}
+}
+
+// classify marks graceful deadline unwinds as hung.
+func classify(ar attemptResult) attemptResult {
+	if ar.err != nil && errors.Is(ar.err, context.DeadlineExceeded) {
+		ar.hung = true
+	}
+	return ar
+}
+
+// allStacks dumps every goroutine's stack.
+func allStacks() string {
+	buf := make([]byte, 1<<20)
+	return string(buf[:runtime.Stack(buf, true)])
+}
+
+// safeFingerprint fingerprints the cell, falling back to an index-keyed
+// fingerprint if the workload factory itself panics.
+func safeFingerprint(c Cell, scope string, i int) (fp string) {
+	fp = fmt.Sprintf("%s/cell-%d#unfingerprintable", scope, i)
+	defer func() { _ = recover() }()
+	return c.Fingerprint(scope)
+}
+
+// safeName returns the cell's (renamed) workload name, tolerating a
+// panicking factory.
+func safeName(c Cell, i int) (name string) {
+	name = fmt.Sprintf("cell-%d", i)
+	defer func() { _ = recover() }()
+	n := c.Make().Name()
+	if c.Rename != nil {
+		n = c.Rename(n)
+	}
+	return n
+}
+
+// safeLabel is the cell's display label: workload/design[variant].
+func safeLabel(c Cell, i int) string {
+	l := safeName(c, i) + "/" + c.Config.Design.String()
+	if c.Variant != "" {
+		l += "[" + c.Variant + "]"
+	}
+	return l
+}
+
+// failureResult synthesizes the degraded-mode placeholder for a failed
+// cell: a Result with the cell's labels, zero statistics, and Failure set,
+// which tables render as an explicit hole.
+func failureResult(c Cell, i int, f *CellFailure) *Result {
+	reason := f.Err
+	if f.Hung {
+		reason = "hung: " + reason
+	}
+	return &Result{
+		Workload: safeName(c, i),
+		Design:   c.Config.Design,
+		Variant:  c.Variant,
+		Failure:  reason,
+	}
 }

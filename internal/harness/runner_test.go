@@ -106,6 +106,77 @@ func TestRunnerReportsFirstErrorInCellOrder(t *testing.T) {
 	}
 }
 
+// gatedFailingWorkload fails after a shared barrier releases, so a test can
+// force several failures to be in flight simultaneously.
+type gatedFailingWorkload struct {
+	name string
+	gate *sync.WaitGroup
+}
+
+func (w *gatedFailingWorkload) Name() string { return w.name }
+func (w *gatedFailingWorkload) Setup(*harness.System) error {
+	w.gate.Done()
+	w.gate.Wait()
+	return fmt.Errorf("injected failure in %s", w.name)
+}
+func (w *gatedFailingWorkload) Workers(*harness.System) []func(*sim.Core) { return nil }
+
+func TestRunnerAggregatesAllFailuresEarliestFirst(t *testing.T) {
+	// Both bad cells block at a barrier until the other has started, so
+	// both failures are guaranteed to be in flight together — the runner
+	// must report BOTH (errors.Join), with the earliest cell index first,
+	// not just whichever happened to lose the race.
+	var gate sync.WaitGroup
+	gate.Add(2)
+	cells := toyCells(8)
+	for _, bad := range []int{2, 6} {
+		bad := bad
+		cells[bad].Make = func() harness.Workload {
+			return &gatedFailingWorkload{name: fmt.Sprintf("bad%d", bad), gate: &gate}
+		}
+	}
+	_, err := harness.Runner{Workers: 4}.Run(cells)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	msg := err.Error()
+	i2, i6 := strings.Index(msg, "bad2"), strings.Index(msg, "bad6")
+	if i2 < 0 || i6 < 0 {
+		t.Fatalf("error should aggregate both failures, got: %v", err)
+	}
+	if i2 > i6 {
+		t.Errorf("earliest cell's failure should come first, got: %v", err)
+	}
+}
+
+func TestRunManifestReportsNotAttemptedCells(t *testing.T) {
+	cells := toyCells(8)
+	cells[2].Make = func() harness.Workload { return &failingWorkload{name: "bad2"} }
+	rs, man, err := harness.Runner{Workers: 1}.RunManifest(cells)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if man.Completed != 2 || len(man.Failures) != 1 || man.Failures[0].Index != 2 {
+		t.Fatalf("manifest = %+v, want 2 completed and cell 2 failed", man)
+	}
+	// Sequential: after cell 2 fails, cells 3..7 are never attempted — and
+	// every one of them must be accounted for, not silently dropped.
+	want := []int{3, 4, 5, 6, 7}
+	if len(man.NotAttempted) != len(want) {
+		t.Fatalf("NotAttempted = %v, want %v", man.NotAttempted, want)
+	}
+	for i, idx := range want {
+		if man.NotAttempted[i] != idx {
+			t.Fatalf("NotAttempted = %v, want %v", man.NotAttempted, want)
+		}
+	}
+	for i, r := range rs {
+		if (r != nil) != (i < 2) {
+			t.Errorf("result %d presence = %v, want results only for cells 0-1", i, r != nil)
+		}
+	}
+}
+
 func TestRunnerProgressSerializedAndComplete(t *testing.T) {
 	var (
 		mu    sync.Mutex

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"tvarak/internal/core"
@@ -132,11 +133,27 @@ func Run(cfg *param.Config, w Workload) (*Result, error) {
 // setup and the measurement reset, so they cover exactly the fixed-work
 // region the statistics cover.
 func RunObserved(cfg *param.Config, w Workload, ob Observation) (*Result, error) {
+	return RunObservedCtx(nil, cfg, w, ob)
+}
+
+// RunObservedCtx is RunObserved under a context: the context installs on
+// the engine before setup, so cancellation stops either the setup or the
+// measured run cooperatively at its next phase boundary. A cancelled or
+// panicked run returns the engine's error (wrapping context.Canceled,
+// context.DeadlineExceeded, or a *sim.WorkloadPanicError) and no result.
+// A nil ctx behaves exactly like RunObserved.
+func RunObservedCtx(ctx context.Context, cfg *param.Config, w Workload, ob Observation) (*Result, error) {
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness: building system for %s: %w", w.Name(), err)
 	}
+	if ctx != nil {
+		s.Eng.SetContext(ctx)
+	}
 	if err := w.Setup(s); err != nil {
+		return nil, fmt.Errorf("harness: setup of %s: %w", w.Name(), err)
+	}
+	if err := s.Eng.Err(); err != nil {
 		return nil, fmt.Errorf("harness: setup of %s: %w", w.Name(), err)
 	}
 	s.Eng.ResetMeasurement()
@@ -147,6 +164,9 @@ func RunObserved(cfg *param.Config, w Workload, ob Observation) (*Result, error)
 	}
 	s.Eng.Tracer = ob.Tracer
 	s.Eng.Run(s.WithDaemons(w.Workers(s)))
+	if err := s.Eng.Err(); err != nil {
+		return nil, fmt.Errorf("harness: measured run of %s: %w", w.Name(), err)
+	}
 	st := s.Eng.St.Clone()
 	r := &Result{Workload: w.Name(), Design: cfg.Design, Stats: st}
 	if smp != nil {

@@ -50,6 +50,15 @@ const (
 	// stable point. The shadow oracle anchors its incremental
 	// cross-checks here.
 	EvPhase
+	// EvCancel marks the phase boundary at which the engine observed its
+	// context cancelled (or a contained workload panic) and began
+	// unwinding the remaining workers; the run drains and stops here
+	// (internal/sim). Aux is 1 when the cause was a workload panic.
+	EvCancel
+	// EvCheckpoint records a completed cell's result being durably
+	// journaled by the resilient runner (internal/harness); Cycle is the
+	// cell's fixed-work runtime and Aux its cell index.
+	EvCheckpoint
 	numEventKinds
 )
 
@@ -66,6 +75,8 @@ var eventNames = [numEventKinds]string{
 	EvCorruption:     "corruption",
 	EvRecovery:       "recovery",
 	EvPhase:          "phase",
+	EvCancel:         "cancel",
+	EvCheckpoint:     "checkpoint",
 }
 
 // String returns the stable wire name of the kind.

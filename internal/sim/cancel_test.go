@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"tvarak/internal/obs"
+)
+
+// collectTracer records events for assertions.
+type collectTracer struct{ events []obs.Event }
+
+func (t *collectTracer) Trace(ev obs.Event) { t.events = append(t.events, ev) }
+
+func (t *collectTracer) count(k obs.EventKind) int {
+	n := 0
+	for _, ev := range t.events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEngineContainsWorkloadPanic(t *testing.T) {
+	e := mkEngine(t)
+	tr := &collectTracer{}
+	e.Tracer = tr
+	// Core 0 panics mid-run; core 1 would spin forever if the engine did
+	// not unwind it at the next phase boundary after containment.
+	e.Run([]func(*Core){
+		func(c *Core) {
+			c.Compute(15000) // past the first phase boundary
+			panic("workload bug")
+		},
+		func(c *Core) {
+			for {
+				c.Compute(1000)
+			}
+		},
+	})
+	err := e.Err()
+	if err == nil {
+		t.Fatal("contained panic not reported by Err")
+	}
+	var wp *WorkloadPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("Err = %v, want *WorkloadPanicError", err)
+	}
+	if wp.Core != 0 || wp.Value != "workload bug" {
+		t.Errorf("panic attributed to core %d value %v", wp.Core, wp.Value)
+	}
+	if !strings.Contains(string(wp.Stack), "cancel_test") {
+		t.Error("panic stack does not point at the workload")
+	}
+	if tr.count(obs.EvCancel) != 1 {
+		t.Errorf("EvCancel emitted %d times, want 1", tr.count(obs.EvCancel))
+	}
+	for _, ev := range tr.events {
+		if ev.Kind == obs.EvCancel && ev.Aux != 1 {
+			t.Errorf("EvCancel Aux = %d, want 1 (panic cause)", ev.Aux)
+		}
+	}
+}
+
+func TestEnginePoisonedAfterPanic(t *testing.T) {
+	e := mkEngine(t)
+	e.Run([]func(*Core){func(c *Core) { panic("first") }})
+	first := e.Err()
+	if first == nil {
+		t.Fatal("expected an error after the panic")
+	}
+	ran := false
+	e.Run([]func(*Core){func(c *Core) { ran = true }})
+	if ran {
+		t.Error("poisoned engine still ran a worker")
+	}
+	if e.Err() != first {
+		t.Errorf("poisoned engine replaced its error: %v", e.Err())
+	}
+}
+
+func TestEngineCancelsAtPhaseBoundary(t *testing.T) {
+	e := mkEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the very first phase boundary stops the run
+	e.SetContext(ctx)
+	e.Run([]func(*Core){func(c *Core) {
+		for { // would never terminate without cooperative cancellation
+			c.Compute(1000)
+		}
+	}})
+	err := e.Err()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+	// The run stopped at a phase boundary, not at an arbitrary point: the
+	// clock is a whole number of phases.
+	phase := e.Cfg.PhaseCyc
+	if phase == 0 {
+		phase = 10000
+	}
+	if got := e.Cores[0].Clock; got%phase != 0 || got == 0 {
+		t.Errorf("cancelled run stopped at clock %d, want a non-zero phase multiple of %d", got, phase)
+	}
+}
+
+func TestEngineRunsCleanWithUncancelledContext(t *testing.T) {
+	e := mkEngine(t)
+	e.SetContext(context.Background())
+	done := false
+	e.Run([]func(*Core){func(c *Core) {
+		c.Compute(25000)
+		done = true
+	}})
+	if err := e.Err(); err != nil {
+		t.Fatalf("clean run under a live context errored: %v", err)
+	}
+	if !done {
+		t.Error("worker did not finish")
+	}
+}

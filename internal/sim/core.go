@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"runtime/debug"
 
 	"tvarak/internal/cache"
 	"tvarak/internal/obs"
@@ -24,12 +26,23 @@ type Core struct {
 	yield    chan struct{}
 }
 
+// simUnwind is the sentinel maybeYield panics with to unwind a worker
+// goroutine after the run was cancelled; the worker's deferred recover in
+// Run swallows it, marks the core done and yields, so the scheduler drains
+// every worker without leaking goroutines.
+type simUnwind struct{}
+
 // maybeYield hands control back to the scheduler when the core's clock has
-// crossed the current phase boundary.
+// crossed the current phase boundary. When the run has been cancelled by
+// the time the scheduler grants the core again, the worker unwinds here —
+// at the barrier, where no store is in flight.
 func (c *Core) maybeYield() {
 	for c.Clock >= c.phaseEnd {
 		c.yield <- struct{}{}
 		<-c.grant
+		if c.eng.cancelled {
+			panic(simUnwind{})
+		}
 	}
 }
 
@@ -106,9 +119,21 @@ func (c *Core) Engine() *Engine { return c.eng }
 // records the fixed-work runtime. It may be called multiple times; cache
 // state persists across calls (use ResetMeasurement between a setup run
 // and the measured run).
+//
+// A worker that panics is contained: the panic is recovered on the worker
+// goroutine, the remaining workers unwind at the next phase boundary, the
+// run drains, and Err reports a *WorkloadPanicError with the stack. When a
+// context installed via SetContext is cancelled, the run likewise stops at
+// the next phase boundary and Err reports the cause. Either way the engine
+// is poisoned: subsequent Run calls return immediately, so a workload
+// issuing several Run calls (setup phases) cannot keep simulating past the
+// failure.
 func (e *Engine) Run(workers []func(*Core)) {
 	if len(workers) > len(e.Cores) {
 		panic(fmt.Sprintf("sim: %d workers for %d cores", len(workers), len(e.Cores)))
+	}
+	if e.runErr != nil {
+		return
 	}
 	active := make([]*Core, 0, len(workers))
 	for i, w := range workers {
@@ -121,10 +146,23 @@ func (e *Engine) Run(workers []func(*Core)) {
 		c.yield = make(chan struct{})
 		active = append(active, c)
 		go func(c *Core, w func(*Core)) {
+			// The recover below runs while the scheduler is blocked on
+			// c.yield (bound-weave runs one goroutine at a time), so the
+			// runErr write is ordered before the scheduler's next read.
+			defer func() {
+				if r := recover(); r != nil {
+					if _, unwind := r.(simUnwind); !unwind && e.runErr == nil {
+						e.runErr = &WorkloadPanicError{Core: c.ID, Value: r, Stack: debug.Stack()}
+					}
+				}
+				c.done = true
+				c.yield <- struct{}{}
+			}()
 			<-c.grant
+			if e.cancelled {
+				return
+			}
 			w(c)
-			c.done = true
-			c.yield <- struct{}{}
 		}(c, w)
 	}
 	phase := e.Cfg.PhaseCyc
@@ -153,9 +191,25 @@ func (e *Engine) Run(workers []func(*Core)) {
 		// flight, so observers (the shadow oracle) can cross-check
 		// media against intent at a stable point.
 		e.Emit(obs.EvPhase, e.maxClock(), 0, 0)
+		if !e.cancelled && (e.runErr != nil || e.ctxCancelled()) {
+			e.cancelled = true
+			var aux uint64
+			if e.runErr != nil {
+				aux = 1 // cause: contained workload panic
+			}
+			e.Emit(obs.EvCancel, e.maxClock(), 0, aux)
+		}
 		phaseEnd += phase
 	}
 	e.drain()
+	if e.runErr == nil && e.cancelled {
+		e.runErr = fmt.Errorf("sim: run cancelled at phase boundary: %w", context.Cause(e.ctx))
+	}
+}
+
+// ctxCancelled reports whether the installed context (if any) is done.
+func (e *Engine) ctxCancelled() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
 }
 
 func (e *Engine) maxClock() uint64 {

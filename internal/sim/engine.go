@@ -17,6 +17,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"tvarak/internal/cache"
@@ -76,6 +77,31 @@ type Engine struct {
 
 	dataWays int
 	lineBuf  []byte
+
+	// Cancellation and containment state (see Run). ctx is observed only
+	// at bound-weave phase boundaries; cancelled tells yielded workers to
+	// unwind; runErr poisons the engine once a run was cancelled or a
+	// workload panicked, so later Run calls return immediately.
+	ctx       context.Context
+	cancelled bool
+	runErr    error
+}
+
+// WorkloadPanicError is the structured error a contained workload panic
+// becomes: the engine recovers the panic on the worker goroutine, unwinds
+// the remaining workers at the next phase boundary, drains, and records
+// this as the run error (Err).
+type WorkloadPanicError struct {
+	// Core is the ID of the core whose worker panicked.
+	Core int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the panic.
+	Stack []byte
+}
+
+func (e *WorkloadPanicError) Error() string {
+	return fmt.Sprintf("sim: workload on core %d panicked: %v", e.Core, e.Value)
 }
 
 // New builds the machine described by cfg.
@@ -114,6 +140,19 @@ func New(cfg *param.Config) (*Engine, error) {
 
 // SetRedundancy attaches the hardware redundancy controller.
 func (e *Engine) SetRedundancy(r RedundancyController) { e.Red = r }
+
+// SetContext installs a cancellation context. The engine checks it at
+// every bound-weave phase boundary: once cancelled, the remaining workers
+// unwind at the barrier (no store is in flight there), the run drains all
+// dirty state so media stays consistent, and Err reports the cause. A nil
+// context (the default) never cancels.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// Err returns the sticky run error: non-nil after a run was cancelled via
+// the context or a workload panicked (WorkloadPanicError). A poisoned
+// engine ignores further Run calls — its simulated state is a consistent
+// drained snapshot of an incomplete run, useful for inspection only.
+func (e *Engine) Err() error { return e.runErr }
 
 // AttachSampler attaches (or, with nil, detaches) an epoch sampler,
 // rebasing it on the current statistics so it measures only the region

@@ -99,6 +99,15 @@ type (
 	// MetricsExport is the versioned machine-readable result document
 	// (JSON/CSV) that -metrics-out writes and the compare mode diffs.
 	MetricsExport = obs.Export
+	// RunJournal is the crash-safe per-run checkpoint log backing -journal
+	// and -resume: one fsync'd record per completed cell, keyed by a
+	// stable fingerprint, so an interrupted run resumes byte-identically.
+	RunJournal = harness.Journal
+	// RunManifest accounts for a run's partial completion: failed, hung,
+	// interrupted and never-attempted cells.
+	RunManifest = harness.Manifest
+	// CellFailure describes one cell that exhausted its attempts.
+	CellFailure = harness.CellFailure
 )
 
 // Design constants.
@@ -207,6 +216,14 @@ func NewMetricsExport(tool string) *MetricsExport { return obs.NewExport(tool) }
 func RunCells(cells []Cell, workers int) ([]*Result, error) {
 	return harness.Runner{Workers: workers}.Run(cells)
 }
+
+// NewRunJournal creates (or truncates) a fresh checkpoint journal at path.
+func NewRunJournal(path string) (*RunJournal, error) { return harness.NewJournal(path) }
+
+// ResumeRunJournal reopens an interrupted run's journal: records already on
+// disk restore their cells without re-simulation, and corrupted or torn
+// lines (a crash mid-write) are skipped, never fatal.
+func ResumeRunJournal(path string) (*RunJournal, error) { return harness.OpenJournal(path) }
 
 // Experiments lists the registry reproducing every table and figure.
 func Experiments() []Experiment { return experiments.Experiments() }
