@@ -16,12 +16,35 @@ import (
 	"testing"
 
 	"tvarak"
+	"tvarak/internal/apps/redispm"
+	"tvarak/internal/apps/stream"
 	"tvarak/internal/experiments"
+	"tvarak/internal/harness"
 	"tvarak/internal/param"
 )
 
 // benchScale reduces measured op counts for benchmark runs.
 const benchScale = 0.25
+
+// assertParallelDeterminism is the PR 1 determinism gate, run inside the
+// benchmark itself: the experiment's cells (every app uses a fixed seed) at
+// a tiny scale must render byte-identical tables sequentially and across a
+// full worker pool. It runs before the timer starts.
+func assertParallelDeterminism(b *testing.B, e tvarak.Experiment) {
+	b.Helper()
+	const checkScale = 0.02
+	seq, err := e.Run(experiments.Options{Scale: checkScale, Parallel: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	par, err := e.Run(experiments.Options{Scale: checkScale, Parallel: runtime.NumCPU()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		b.Fatalf("benchmark cells not deterministic across -parallel:\n--- sequential ---\n%s--- parallel ---\n%s", seq, par)
+	}
+}
 
 // runExperiment executes one registry experiment and reports the TVARAK
 // and software-scheme runtime overheads (fraction over Baseline) as
@@ -32,6 +55,9 @@ func runExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	assertParallelDeterminism(b, e)
+	b.ReportAllocs()
+	b.ResetTimer()
 	// Cells fan out across the CPUs through the parallel runner; the
 	// reassembled table (and therefore every reported metric) is identical
 	// to a sequential run's.
@@ -98,6 +124,63 @@ func BenchmarkSec4GExclusive(b *testing.B) { runExperiment(b, "sec4g") }
 
 func BenchmarkSec4HDimms(b *testing.B) { runExperiment(b, "sec4h-dimms") }
 func BenchmarkSec4HTech(b *testing.B)  { runExperiment(b, "sec4h-tech") }
+
+// Single-cell end-to-end benchmarks: ONE (workload, design) cell through
+// the full fixed-work methodology (system build, setup, measured run).
+// This is the unit the campaign and experiment runners multiply by
+// thousands, so its ns/op and allocs/op are the headline hot-path numbers
+// that tools/benchdiff gates against BENCH_5.json. sim-cycles is the
+// simulated runtime — deterministic, so any drift is a correctness signal,
+// not noise.
+
+func benchSingleCell(b *testing.B, d tvarak.Design, mk func() harness.Workload) {
+	b.Helper()
+	cfg := tvarak.ReproScaleConfig(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cycles, ops uint64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Run(cfg, mk())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.Stats.Cycles
+		ops = r.Stats.Loads + r.Stats.Stores
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	b.ReportMetric(float64(ops), "sim-accesses")
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(ops)*float64(b.N)/elapsed, "accesses/sec")
+	}
+}
+
+func streamTriadCell() harness.Workload {
+	cfg := stream.Default(stream.Triad)
+	cfg.ArrayBytes = uint64(float64(cfg.ArrayBytes)*benchScale) &^ 4095
+	return stream.New(cfg)
+}
+
+func redisSetCell() harness.Workload {
+	cfg := redispm.Default(true)
+	cfg.Ops = int(float64(cfg.Ops) * benchScale)
+	return redispm.New(cfg)
+}
+
+func BenchmarkCellStreamTriadBaseline(b *testing.B) {
+	benchSingleCell(b, tvarak.DesignBaseline, streamTriadCell)
+}
+
+func BenchmarkCellStreamTriadTvarak(b *testing.B) {
+	benchSingleCell(b, tvarak.DesignTvarak, streamTriadCell)
+}
+
+func BenchmarkCellRedisSetBaseline(b *testing.B) {
+	benchSingleCell(b, tvarak.DesignBaseline, redisSetCell)
+}
+
+func BenchmarkCellRedisSetTvarak(b *testing.B) {
+	benchSingleCell(b, tvarak.DesignTvarak, redisSetCell)
+}
 
 // BenchmarkRecoveryLatency measures the parity-reconstruction path itself:
 // cycles to detect and recover one corrupted line (Figs. 1-2 machinery).

@@ -34,8 +34,16 @@ echo "== go test -race (parallel harness gate) =="
 # fault: campaign units run on the worker pool and app workers are wrapped
 # with panic containment.
 # obs: tracers and samplers are fed from concurrent cells' engines.
-go test -race ./internal/harness/ ./internal/experiments/ \
-    ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/obs/ .
+# cache/nvm/xsum/geom/pmem: the hot-path packages the performance pass
+# rewrote with shift/mask arithmetic and scratch-buffer reuse; -race proves
+# the reused buffers never leak across goroutines.
+# -timeout 20m: the race detector slows the simulator ~10x and CI boxes are
+# small; the long golden-table experiments additionally skip under -race
+# (see race_test.go).
+go test -race -timeout 20m ./internal/harness/ ./internal/experiments/ \
+    ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/obs/ \
+    ./internal/cache/ ./internal/nvm/ ./internal/xsum/ ./internal/geom/ \
+    ./internal/pmem/ .
 
 echo "== coverage floor (internal/core + internal/sim) =="
 # Combined statement coverage of the two central packages, exercised by the
@@ -86,6 +94,22 @@ if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
     echo "regenerated testdata/ci-golden.json"
 fi
 "$tmp/tvarak-sim" -compare "testdata/ci-golden.json,$tmp/run1.json"
+
+echo "== bench-regression gate =="
+# Hot-path benchmark suite at fixed iteration counts, gated against the
+# committed BENCH_5.json: allocs/op and B/op fail on a >10% increase,
+# simulated cycles/accesses fail on ANY drift (they are deterministic), and
+# wall-clock ns/op is reported but only enforced when BENCH_NS_TOL is set
+# (e.g. BENCH_NS_TOL=0.10 on a quiet dedicated machine — wall-clock baselines
+# do not transfer across machines; see DESIGN.md "Performance"). After an
+# intentional perf-relevant change, regenerate with: UPDATE_BENCH=1 ./ci.sh
+go build -o "$tmp/benchdiff" ./tools/benchdiff
+if [ "${UPDATE_BENCH:-0}" = "1" ]; then
+    "$tmp/benchdiff" -out BENCH_5.json >/dev/null
+    echo "regenerated BENCH_5.json"
+fi
+"$tmp/benchdiff" -out "$tmp/bench.json" -baseline BENCH_5.json \
+    -ns-tol "${BENCH_NS_TOL:-0}"
 
 echo "== interrupt-and-resume gate =="
 # A journaled run killed mid-flight must resume to output byte-identical to

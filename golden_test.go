@@ -1,0 +1,76 @@
+// Golden paper-figure regression tests: each case re-runs a reduced-scale
+// registry experiment and diffs the rendered result table byte-for-byte
+// against a committed golden under testdata/. Every workload seeds its RNG
+// deterministically and the parallel runner reassembles cells in a fixed
+// order, so the table — simulated cycles, NVM accesses, overhead columns,
+// all of it — is exactly reproducible; any byte of drift means simulated
+// behaviour changed, not noise. This is the correctness gate for hot-path
+// performance work: refactors must leave these files untouched.
+//
+// After an INTENTIONAL behaviour change, regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test -run TestGolden .
+package tvarak_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"tvarak"
+	"tvarak/internal/experiments"
+)
+
+// raceEnabled is set by race_test.go when the race detector is on.
+var raceEnabled bool
+
+var goldenCases = []struct {
+	id    string
+	scale float64
+}{
+	// Fig. 8 headline comparison for the two workload extremes: redis-like
+	// (pointer-chasing, small writes) and stream triad (sequential bulk).
+	{"fig8-redis", 0.02},
+	{"fig8-stream", 0.05},
+	// Fig. 9 design-choice ablation — exercises every controller feature
+	// combination (naive, +DAX-CL, +caching, +diffs) in one table.
+	{"fig9", 0.02},
+}
+
+func TestGoldenTables(t *testing.T) {
+	if raceEnabled {
+		t.Skip("skipping under -race: ~10x simulator slowdown blows the package timeout; byte-identity is gated by the regular test pass")
+	}
+	for _, tc := range goldenCases {
+		t.Run(tc.id, func(t *testing.T) {
+			e, err := tvarak.LookupExperiment(tc.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := e.Run(experiments.Options{Scale: tc.scale, Parallel: runtime.NumCPU()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tab.String()
+			path := filepath.Join("testdata", "golden-"+tc.id+".txt")
+			if os.Getenv("UPDATE_GOLDEN") == "1" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("regenerated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run UPDATE_GOLDEN=1 go test -run TestGolden .): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden %s.\nSimulated results must be byte-identical across refactors; if this change is intentional, regenerate with UPDATE_GOLDEN=1.\n--- got ---\n%s--- want ---\n%s", tc.id, path, got, want)
+			}
+		})
+	}
+}

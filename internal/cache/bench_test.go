@@ -1,0 +1,116 @@
+package cache
+
+import "testing"
+
+// The cache array is the single hottest data structure of the simulator:
+// every simulated memory access performs 1-3 Lookups plus a Victim/Install
+// pair per miss. Benchmarks cover both the private-cache shape (stride 1)
+// and the banked-LLC shape (stride = bank count, including the full-scale
+// non-power-of-two 12-bank machine).
+
+// fill installs one line in every way of every set.
+func fill(c *Cache) {
+	data := make([]byte, 64)
+	ways := c.Ways()
+	for s := 0; s < c.Sets(); s++ {
+		for w := 0; w < ways; w++ {
+			addr := uint64(s)*64*c.stride + uint64(w)*64*c.stride*uint64(c.Sets())
+			v := c.Victim(addr, 0, ways)
+			c.Install(v, addr, data, Shared)
+		}
+	}
+}
+
+func benchLookupHit(b *testing.B, stride uint64) {
+	c := New(512, 16, 64, stride)
+	fill(c)
+	addrs := make([]uint64, 64)
+	for i := range addrs {
+		addrs[i] = uint64(i) * 64 * stride
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(addrs[i&63], 0, 16) == nil {
+			b.Fatal("miss on installed line")
+		}
+	}
+}
+
+func BenchmarkLookupHitStride1(b *testing.B)  { benchLookupHit(b, 1) }
+func BenchmarkLookupHitStride4(b *testing.B)  { benchLookupHit(b, 4) }
+func BenchmarkLookupHitStride12(b *testing.B) { benchLookupHit(b, 12) }
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := New(512, 16, 64, 1)
+	fill(c)
+	// Absent addresses that still map onto full sets: beyond the filled tag
+	// space.
+	miss := uint64(c.Sets()) * uint64(c.Ways()) * 64 * 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(miss+uint64(i&63)*64, 0, 16) != nil {
+			b.Fatal("hit on absent line")
+		}
+	}
+}
+
+func BenchmarkVictimLRUFullSet(b *testing.B) {
+	c := New(512, 16, 64, 1)
+	fill(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := c.Victim(uint64(i&511)*64, 0, 16)
+		if v == nil {
+			b.Fatal("no victim")
+		}
+	}
+}
+
+func BenchmarkInstall(b *testing.B) {
+	c := New(512, 16, 64, 1)
+	fill(c) // pre-allocate every line's Data buffer
+	data := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i&511) * 64
+		v := c.Victim(addr, 0, 16)
+		c.Install(v, addr, data, Modified)
+	}
+}
+
+func benchSetIndex(b *testing.B, stride uint64) {
+	c := New(512, 16, 64, stride)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s int
+	for i := 0; i < b.N; i++ {
+		s += c.SetIndex(uint64(i) * 64 * stride)
+	}
+	sinkInt = s
+}
+
+func BenchmarkSetIndexStride1(b *testing.B)  { benchSetIndex(b, 1) }
+func BenchmarkSetIndexStride4(b *testing.B)  { benchSetIndex(b, 4) }
+func BenchmarkSetIndexStride12(b *testing.B) { benchSetIndex(b, 12) }
+
+func BenchmarkForEachFull(b *testing.B) {
+	c := New(512, 16, 64, 1)
+	fill(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		c.ForEach(0, 16, func(l *Line) {
+			if l.Dirty() {
+				n++
+			}
+		})
+		sinkInt = n
+	}
+}
+
+var sinkInt int

@@ -11,7 +11,10 @@
 // through this API.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // State is the coherence state of a line. The hierarchy runs a MESI-style
 // protocol: the LLC directory grants Exclusive on sole fills, upper caches
@@ -60,6 +63,16 @@ type Cache struct {
 	lineSize int
 	stride   uint64 // line-address stride between consecutive sets (LLC bank interleave)
 	tick     uint64
+
+	// Set indexing runs 1-3 times per simulated access, so the two-divide
+	// index computation is folded into one divisor (floor(floor(a/l)/s) ==
+	// floor(a/(l·s))) and a mask (sets is a power of two), with a pure
+	// shift when the combined divisor is itself a power of two (every
+	// private cache, and any LLC with a power-of-two bank count).
+	setDiv   uint64 // lineSize*stride: address bytes per set increment
+	setMask  uint64 // len(sets)-1
+	setShift uint   // log2(setDiv), valid when divPow2
+	divPow2  bool
 }
 
 // New builds a cache with the given geometry. stride expresses bank
@@ -69,7 +82,16 @@ func New(sets, ways, lineSize int, stride uint64) *Cache {
 	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: invalid geometry sets=%d ways=%d (sets must be a power of two)", sets, ways))
 	}
+	if lineSize <= 0 || stride == 0 {
+		panic(fmt.Sprintf("cache: invalid geometry lineSize=%d stride=%d", lineSize, stride))
+	}
 	c := &Cache{lineSize: lineSize, stride: stride}
+	c.setDiv = uint64(lineSize) * stride
+	c.setMask = uint64(sets - 1)
+	if c.setDiv&(c.setDiv-1) == 0 {
+		c.divPow2 = true
+		c.setShift = uint(bits.TrailingZeros64(c.setDiv))
+	}
 	c.sets = make([][]Line, sets)
 	backing := make([]Line, sets*ways)
 	for i := range c.sets {
@@ -86,7 +108,10 @@ func (c *Cache) Ways() int { return len(c.sets[0]) }
 
 // SetIndex returns the set that addr maps to.
 func (c *Cache) SetIndex(addr uint64) int {
-	return int((addr / uint64(c.lineSize) / c.stride) % uint64(len(c.sets)))
+	if c.divPow2 {
+		return int(addr >> c.setShift & c.setMask)
+	}
+	return int(addr / c.setDiv & c.setMask)
 }
 
 // Lookup returns the line holding addr if present in ways [wayLo, wayHi),

@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// refSetIndex is the original two-division set-index formula; the shift/mask
+// fast paths in SetIndex must agree with it for every geometry.
+func refSetIndex(sets, lineSize int, stride uint64, addr uint64) int {
+	return int((addr / uint64(lineSize) / stride) % uint64(sets))
+}
+
+// TestSetIndexMatchesReference pins the combined-divisor SetIndex to the
+// reference formula across power-of-two and non-power-of-two line sizes and
+// strides (the full-scale machine has 12 LLC banks, so stride 12 exercises
+// the division fallback).
+func TestSetIndexMatchesReference(t *testing.T) {
+	cases := []struct {
+		sets, lineSize int
+		stride         uint64
+	}{
+		{512, 64, 1},   // private cache shape (pure shift)
+		{512, 64, 4},   // repro-scale LLC bank (pure shift)
+		{512, 64, 12},  // full-scale LLC bank (division)
+		{1, 64, 1},     // single set: every address maps to set 0
+		{1, 64, 12},    // single set with banked stride
+		{8, 64, 3},     // small non-power-of-two stride
+		{16, 48, 1},    // non-power-of-two line size (division)
+		{16, 48, 6},    // both non-power-of-two
+		{1024, 256, 8}, // larger power-of-two everything
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("sets=%d/line=%d/stride=%d", tc.sets, tc.lineSize, tc.stride), func(t *testing.T) {
+			c := New(tc.sets, 2, tc.lineSize, tc.stride)
+			// Sweep addresses beyond one full wrap of the index space,
+			// including unaligned ones (SetIndex floors like the reference).
+			span := uint64(tc.lineSize) * tc.stride * uint64(tc.sets) * 3
+			step := span/4096 + 1
+			for addr := uint64(0); addr < span; addr += step {
+				if got, want := c.SetIndex(addr), refSetIndex(tc.sets, tc.lineSize, tc.stride, addr); got != want {
+					t.Fatalf("SetIndex(%#x) = %d, want %d", addr, got, want)
+				}
+			}
+			// High addresses (NVM lives above DRAM in the physical map).
+			for _, addr := range []uint64{1 << 30, 1<<30 + 64, 1<<40 + uint64(tc.lineSize)*tc.stride*7} {
+				if got, want := c.SetIndex(addr), refSetIndex(tc.sets, tc.lineSize, tc.stride, addr); got != want {
+					t.Fatalf("SetIndex(%#x) = %d, want %d", addr, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDirectMappedCache exercises the 1-way (direct-mapped) degenerate
+// geometry: every conflict evicts, and the victim is always the single way.
+func TestDirectMappedCache(t *testing.T) {
+	c := New(4, 1, 64, 1)
+	if c.Ways() != 1 {
+		t.Fatalf("Ways() = %d, want 1", c.Ways())
+	}
+	a0, a1 := uint64(0), uint64(4*64) // same set, different tags
+	v := c.Victim(a0, 0, 1)
+	c.Install(v, a0, line(1), Shared)
+	if c.Lookup(a0, 0, 1) == nil {
+		t.Fatal("direct-mapped install lost")
+	}
+	v = c.Victim(a1, 0, 1)
+	if v.Addr != a0 || v.State == Invalid {
+		t.Fatalf("conflict victim = %#x (state %v), want the resident line %#x", v.Addr, v.State, a0)
+	}
+	c.Install(v, a1, line(2), Shared)
+	if c.Lookup(a0, 0, 1) != nil {
+		t.Fatal("evicted line still present")
+	}
+	if got := c.Lookup(a1, 0, 1); got == nil || got.Data[0] != 2 {
+		t.Fatal("replacement line missing")
+	}
+}
+
+// TestSingleSetFullyAssociative exercises the 1-set geometry used by the
+// on-controller redundancy caches (fully associative, 64 ways).
+func TestSingleSetFullyAssociative(t *testing.T) {
+	const ways = 64
+	c := New(1, ways, 64, 1)
+	// Addresses with wildly different alignments all land in set 0.
+	for _, addr := range []uint64{0, 64, 1 << 20, 1<<40 + 192} {
+		if c.SetIndex(addr) != 0 {
+			t.Fatalf("SetIndex(%#x) = %d, want 0", addr, c.SetIndex(addr))
+		}
+	}
+	for i := 0; i < ways; i++ {
+		a := uint64(i) * 4096 // arbitrary stride: no conflicts until full
+		v := c.Victim(a, 0, ways)
+		if v.State != Invalid {
+			t.Fatalf("eviction before the single set filled (way %d)", i)
+		}
+		c.Install(v, a, line(byte(i)), Shared)
+	}
+	if got := c.CountValid(0, ways); got != ways {
+		t.Fatalf("CountValid = %d, want %d", got, ways)
+	}
+	// One more install must evict the LRU (the first-installed line).
+	v := c.Victim(uint64(ways)*4096, 0, ways)
+	if v.Addr != 0 {
+		t.Fatalf("LRU victim = %#x, want 0", v.Addr)
+	}
+}
+
+// TestWayRangeBounds checks lookup/victim behaviour at the edges of way
+// partitions: single-way sub-ranges, the last way, and the panic on an
+// empty range.
+func TestWayRangeBounds(t *testing.T) {
+	const ways = 4
+	c := New(2, ways, 64, 1)
+	// Install one line per single-way partition [w, w+1) of set 0.
+	for w := 0; w < ways; w++ {
+		v := c.Victim(0, w, w+1)
+		if v.State != Invalid {
+			t.Fatalf("way %d already occupied", w)
+		}
+		c.Install(v, 0, line(byte(w+1)), Shared)
+	}
+	for w := 0; w < ways; w++ {
+		got := c.Lookup(0, w, w+1)
+		if got == nil || got.Data[0] != byte(w+1) {
+			t.Fatalf("way-partition [%d,%d) lost its line", w, w+1)
+		}
+	}
+	// The full range sees the first matching way.
+	if got := c.Lookup(0, 0, ways); got == nil || got.Data[0] != 1 {
+		t.Fatal("full-range lookup should return the first way's line")
+	}
+	// A half-open range excludes wayHi.
+	if got := c.Lookup(0, 0, ways-1); got == nil || got.Data[0] != 1 {
+		t.Fatal("range [0,ways-1) broken")
+	}
+	v := c.Victim(128, ways-1, ways) // same set as 0; only the last way is eligible
+	if v.Addr != 0 || v.Data[0] != byte(ways) {
+		t.Fatalf("victim outside single-way range [ways-1,ways)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty way range did not panic")
+		}
+	}()
+	c.Victim(0, 2, 2)
+}
+
+// TestNewRejectsDegenerateGeometry covers the added lineSize/stride
+// validation (the power-of-two sets check is covered elsewhere).
+func TestNewRejectsDegenerateGeometry(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		sets, ways, line int
+		stride           uint64
+	}{
+		{"zero-line-size", 4, 2, 0, 1},
+		{"negative-line-size", 4, 2, -64, 1},
+		{"zero-stride", 4, 2, 64, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d,%d,%d) did not panic", tc.sets, tc.ways, tc.line, tc.stride)
+				}
+			}()
+			New(tc.sets, tc.ways, tc.line, tc.stride)
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"testing"
+
+	"tvarak/internal/core"
+	"tvarak/internal/daxfs"
+	"tvarak/internal/param"
+	"tvarak/internal/sim"
+)
+
+// Benchmarks for the controller hooks on the per-access redundancy path:
+// OnFill (checksum verification on every NVM→LLC fill of mapped data) and
+// OnWriteback (incremental checksum+parity update on every LLC→NVM
+// writeback). Both run through real engine accesses so the redundancy
+// cache walk, comparator match and LLC partition traffic are all included.
+
+func benchSys(b *testing.B, feats param.TvarakFeatures) (*sim.Engine, *daxfs.DaxMap) {
+	b.Helper()
+	cfg := param.SmallTest(param.Tvarak)
+	cfg.Tvarak.Features = feats
+	e, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctrl := core.New(e)
+	fs, err := daxfs.New(e, ctrl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fs.Create("data", 1<<20); err != nil {
+		b.Fatal(err)
+	}
+	m, err := fs.MMap("data")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, m
+}
+
+func run1(b *testing.B, e *sim.Engine, fn func(*sim.Core)) {
+	b.Helper()
+	e.Run([]func(*sim.Core){fn})
+	if err := e.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkOnFillVerify measures verified fills: every load misses the
+// whole hierarchy (DropCaches each round), so each access triggers OnFill
+// with a DAX-CL-checksum read and verification.
+func BenchmarkOnFillVerify(b *testing.B) {
+	e, m := benchSys(b, param.FullTvarak())
+	var buf [8]byte
+	run1(b, e, func(c *sim.Core) { // settle media + checksums
+		for off := uint64(0); off < 1<<20; off += 4096 {
+			m.Load(c, off, buf[:])
+		}
+	})
+	const lines = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += lines {
+		b.StopTimer()
+		e.DropCaches()
+		b.StartTimer()
+		run1(b, e, func(c *sim.Core) {
+			for l := 0; l < lines && i+l < b.N; l++ {
+				m.Load(c, uint64(l)*64, buf[:])
+			}
+		})
+	}
+}
+
+// BenchmarkOnWriteback measures the writeback redundancy update: stores
+// stream over a footprint larger than the LLC so steady-state evictions are
+// dirty and every writeback updates checksum + parity (with data diffs).
+func BenchmarkOnWriteback(b *testing.B) {
+	e, m := benchSys(b, param.FullTvarak())
+	var buf [8]byte
+	run1(b, e, func(c *sim.Core) {
+		for off := uint64(0); off < 1<<20; off += 4096 {
+			m.Store(c, off, buf[:])
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	run1(b, e, func(c *sim.Core) {
+		for i := 0; i < b.N; i++ {
+			m.Store(c, (uint64(i)*64)%(1<<20), buf[:])
+		}
+	})
+}
+
+// BenchmarkOnWritebackNaive is the same store stream under the naive
+// page-granular design (Fig. 4): every writeback re-reads the whole page.
+func BenchmarkOnWritebackNaive(b *testing.B) {
+	e, m := benchSys(b, param.TvarakFeatures{})
+	var buf [8]byte
+	run1(b, e, func(c *sim.Core) {
+		for off := uint64(0); off < 1<<20; off += 4096 {
+			m.Store(c, off, buf[:])
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	run1(b, e, func(c *sim.Core) {
+		for i := 0; i < b.N; i++ {
+			m.Store(c, (uint64(i)*64)%(1<<20), buf[:])
+		}
+	})
+}

@@ -77,6 +77,7 @@ type Controller struct {
 	scratchSib    []byte
 	scratchRec    []byte
 	scratchNoCash []byte
+	scratchFill   []byte
 	pageBuf       []byte
 }
 
@@ -95,6 +96,7 @@ func New(eng *sim.Engine) *Controller {
 		scratchSib:    make([]byte, cfg.LineSize),
 		scratchRec:    make([]byte, cfg.LineSize),
 		scratchNoCash: make([]byte, cfg.LineSize),
+		scratchFill:   make([]byte, cfg.LineSize),
 		pageBuf:       make([]byte, cfg.PageSize),
 	}
 	dataWays := cfg.DataWays()
@@ -307,7 +309,8 @@ func (t *Controller) llcRedGet(now uint64, addr uint64, lat *uint64) *cache.Line
 		return l
 	}
 	t.st.AddCache(stats.LLC, false, cfg.LLCBank.MissEnergyPJ)
-	buf := make([]byte, t.lineSize)
+	// Install copies, so the fill scratch never escapes this call.
+	buf := t.scratchFill
 	done, _ := t.eng.NVM.ReadLine(now, addr, nvm.Redundancy, buf)
 	*lat += done - now
 	v := b.Victim(addr, t.redLo, t.redHi)

@@ -13,7 +13,10 @@
 // page number.
 package geom
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Geometry captures the fixed layout parameters. All addresses handled by
 // the package are physical byte addresses.
@@ -24,6 +27,16 @@ type Geometry struct {
 	DRAMBytes int
 	NVMBytes  int
 	DIMMs     int // NVM DIMM count (parity rotates over these)
+
+	// Shift/mask fast paths for the per-access address arithmetic,
+	// precomputed by New when the page size or DIMM count is a power of
+	// two. A zero-valued Geometry (built as a literal rather than via New)
+	// falls back to the generic division forms.
+	pageShift uint
+	pagePow2  bool
+	dimmShift uint
+	dimmMask  uint64
+	dimmPow2  bool
 }
 
 // New validates and returns a Geometry.
@@ -37,6 +50,15 @@ func New(lineSize, pageSize, dramBytes, nvmBytes, dimms int) (Geometry, error) {
 	}
 	if dramBytes%pageSize != 0 || nvmBytes%(pageSize*dimms) != 0 {
 		return g, fmt.Errorf("geom: capacities must be page- and stripe-aligned")
+	}
+	if ps := uint64(pageSize); ps&(ps-1) == 0 {
+		g.pagePow2 = true
+		g.pageShift = uint(bits.TrailingZeros64(ps))
+	}
+	if nd := uint64(dimms); nd&(nd-1) == 0 {
+		g.dimmPow2 = true
+		g.dimmShift = uint(bits.TrailingZeros64(nd))
+		g.dimmMask = nd - 1
 	}
 	return g, nil
 }
@@ -71,24 +93,45 @@ func (g Geometry) DataPages() uint64 { return g.Stripes() * uint64(g.DIMMs-1) }
 
 // PageOf returns the NVM page number of addr (addr must be in NVM).
 func (g Geometry) PageOf(addr uint64) uint64 {
+	if g.pagePow2 {
+		return (addr - uint64(g.DRAMBytes)) >> g.pageShift
+	}
 	return (addr - g.NVMBase()) / uint64(g.PageSize)
 }
 
 // PageBase returns the physical address of the first byte of NVM page p.
 func (g Geometry) PageBase(p uint64) uint64 {
+	if g.pagePow2 {
+		return uint64(g.DRAMBytes) + p<<g.pageShift
+	}
 	return g.NVMBase() + p*uint64(g.PageSize)
 }
 
 // DIMMOf returns the DIMM holding NVM page p under round-robin page
 // interleaving.
-func (g Geometry) DIMMOf(p uint64) int { return int(p % uint64(g.DIMMs)) }
+func (g Geometry) DIMMOf(p uint64) int {
+	if g.dimmPow2 {
+		return int(p & g.dimmMask)
+	}
+	return int(p % uint64(g.DIMMs))
+}
 
 // StripeOf returns the stripe containing NVM page p.
-func (g Geometry) StripeOf(p uint64) uint64 { return p / uint64(g.DIMMs) }
+func (g Geometry) StripeOf(p uint64) uint64 {
+	if g.dimmPow2 {
+		return p >> g.dimmShift
+	}
+	return p / uint64(g.DIMMs)
+}
 
 // ParitySlot returns the in-stripe slot of stripe s that holds parity
 // (rotating: s mod D).
-func (g Geometry) ParitySlot(s uint64) int { return int(s % uint64(g.DIMMs)) }
+func (g Geometry) ParitySlot(s uint64) int {
+	if g.dimmPow2 {
+		return int(s & g.dimmMask)
+	}
+	return int(s % uint64(g.DIMMs))
+}
 
 // ParityPage returns the page number of stripe s's parity page.
 func (g Geometry) ParityPage(s uint64) uint64 {
@@ -97,14 +140,14 @@ func (g Geometry) ParityPage(s uint64) uint64 {
 
 // IsParityPage reports whether NVM page p is a parity page.
 func (g Geometry) IsParityPage(p uint64) bool {
-	return g.ParitySlot(g.StripeOf(p)) == int(p%uint64(g.DIMMs))
+	return g.ParitySlot(g.StripeOf(p)) == g.DIMMOf(p)
 }
 
 // DataIndexOf returns the contiguous data-page index of NVM page p,
 // skipping parity pages. It panics if p is a parity page.
 func (g Geometry) DataIndexOf(p uint64) uint64 {
 	s := g.StripeOf(p)
-	k := int(p % uint64(g.DIMMs))
+	k := g.DIMMOf(p)
 	pi := g.ParitySlot(s)
 	if k == pi {
 		panic(fmt.Sprintf("geom: page %d is a parity page", p))
@@ -132,6 +175,10 @@ func (g Geometry) PageOfDataIndex(di uint64) uint64 {
 // DataIndexAddr returns the physical address of byte off within the
 // contiguous data-page space starting at data index di.
 func (g Geometry) DataIndexAddr(di uint64, off uint64) uint64 {
+	if g.pagePow2 {
+		page := di + off>>g.pageShift
+		return g.PageBase(g.PageOfDataIndex(page)) + off&(uint64(g.PageSize)-1)
+	}
 	page := di + off/uint64(g.PageSize)
 	return g.PageBase(g.PageOfDataIndex(page)) + off%uint64(g.PageSize)
 }
@@ -142,7 +189,12 @@ func (g Geometry) DataIndexAddr(di uint64, off uint64) uint64 {
 func (g Geometry) ParityLineAddr(addr uint64) uint64 {
 	p := g.PageOf(addr)
 	s := g.StripeOf(p)
-	off := (addr - g.NVMBase()) % uint64(g.PageSize)
+	off := addr - g.NVMBase()
+	if g.pagePow2 {
+		off &= uint64(g.PageSize) - 1
+	} else {
+		off %= uint64(g.PageSize)
+	}
 	return g.PageBase(g.ParityPage(s)) + g.LineAddr(off)
 }
 

@@ -14,6 +14,7 @@ package nvm
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"tvarak/internal/geom"
 	"tvarak/internal/param"
@@ -79,6 +80,20 @@ type Memory struct {
 	lineSize int
 	st       *stats.Stats
 
+	// Precomputed interleave arithmetic for locate(), which runs on every
+	// media access: unit is the interleave granule (page for NVM, line for
+	// DRAM) and nd the DIMM count; the shift/mask forms apply when the
+	// respective value is a power of two.
+	unit      uint64
+	unitShift uint
+	unitPow2  bool
+	nd        uint64
+	dimmShift uint
+	dimmMask  uint64
+	dimmPow2  bool
+	lineShift uint
+	linePow2  bool
+
 	// One-shot firmware bugs armed by tests and fault-injection tools,
 	// keyed by intended line address. NVM only. Bugs model firmware
 	// faults on the demand data path, so they fire only on Data-class
@@ -128,9 +143,25 @@ func New(kind Kind, geo geom.Geometry, p param.MemParams, st *stats.Stats) *Memo
 	if kind == NVMKind {
 		m.base = geo.NVMBase()
 		m.size = uint64(geo.NVMBytes)
+		m.unit = uint64(geo.PageSize)
 	} else {
 		m.base = 0
 		m.size = uint64(geo.DRAMBytes)
+		m.unit = uint64(geo.LineSize)
+	}
+	if m.unit&(m.unit-1) == 0 {
+		m.unitPow2 = true
+		m.unitShift = uint(bits.TrailingZeros64(m.unit))
+	}
+	m.nd = uint64(p.DIMMs)
+	if m.nd&(m.nd-1) == 0 {
+		m.dimmPow2 = true
+		m.dimmShift = uint(bits.TrailingZeros64(m.nd))
+		m.dimmMask = m.nd - 1
+	}
+	if ls := uint64(m.lineSize); ls&(ls-1) == 0 {
+		m.linePow2 = true
+		m.lineShift = uint(bits.TrailingZeros64(ls))
 	}
 	per := int(m.size) / p.DIMMs
 	zeroECC := xsum.Checksum(make([]byte, m.lineSize))
@@ -154,19 +185,32 @@ func (m *Memory) Contains(addr uint64) bool {
 	return addr >= m.base && addr < m.base+m.size
 }
 
-// locate maps a line address to (dimm, byte offset within the DIMM).
+// locate maps a line address to (dimm, byte offset within the DIMM). The
+// interleave granule (page for NVM, line for DRAM) is precomputed as unit;
+// shift/mask fast paths cover the power-of-two cases.
 func (m *Memory) locate(addr uint64) (*dimm, uint64) {
 	rel := addr - m.base
-	if m.kind == NVMKind {
-		page := rel / uint64(m.geo.PageSize)
-		d := int(page % uint64(m.p.DIMMs))
-		off := (page/uint64(m.p.DIMMs))*uint64(m.geo.PageSize) + rel%uint64(m.geo.PageSize)
-		return m.dimms[d], off
+	var idx, inUnit uint64
+	if m.unitPow2 {
+		idx, inUnit = rel>>m.unitShift, rel&(m.unit-1)
+	} else {
+		idx, inUnit = rel/m.unit, rel%m.unit
 	}
-	line := rel / uint64(m.lineSize)
-	d := int(line % uint64(m.p.DIMMs))
-	off := (line/uint64(m.p.DIMMs))*uint64(m.lineSize) + rel%uint64(m.lineSize)
-	return m.dimms[d], off
+	var d, row uint64
+	if m.dimmPow2 {
+		d, row = idx&m.dimmMask, idx>>m.dimmShift
+	} else {
+		d, row = idx%m.nd, idx/m.nd
+	}
+	return m.dimms[d], row*m.unit + inUnit
+}
+
+// eccIndex returns the per-line ECC slot for a DIMM byte offset.
+func (m *Memory) eccIndex(off uint64) uint64 {
+	if m.linePow2 {
+		return off >> m.lineShift
+	}
+	return off / uint64(m.lineSize)
 }
 
 func (m *Memory) checkLine(addr uint64) uint64 {
@@ -188,9 +232,13 @@ func (m *Memory) checkLine(addr uint64) uint64 {
 func (m *Memory) ReadLine(now uint64, addr uint64, class Class, buf []byte) (uint64, error) {
 	m.checkLine(addr)
 	src := addr
-	if b, ok := m.bugsR[addr]; ok && b.kind == misdirectedRead && class == Data {
-		delete(m.bugsR, addr)
-		src = b.target
+	// Bugs are armed only inside fault-injection runs; the len check keeps
+	// the normal path free of a map lookup per access.
+	if len(m.bugsR) != 0 {
+		if b, ok := m.bugsR[addr]; ok && b.kind == misdirectedRead && class == Data {
+			delete(m.bugsR, addr)
+			src = b.target
+		}
 	}
 	d, off := m.locate(src)
 	d.busyCyc += m.p.ReadOccupancyCyc
@@ -203,7 +251,7 @@ func (m *Memory) ReadLine(now uint64, addr uint64, class Class, buf []byte) (uin
 		}
 	}
 	copy(buf, d.data[off:off+uint64(m.lineSize)])
-	if d.ecc[off/uint64(m.lineSize)] != xsum.Checksum(buf) {
+	if d.ecc[m.eccIndex(off)] != xsum.Checksum(buf) {
 		if m.st != nil {
 			m.st.ECCErrors++
 		}
@@ -228,21 +276,23 @@ func (m *Memory) WriteLine(now uint64, addr uint64, class Class, data []byte) ui
 		m.obsW(addr, data, true, class)
 	}
 	dst := addr
-	if b, ok := m.bugsW[addr]; ok && class == Data {
-		delete(m.bugsW, addr)
-		switch b.kind {
-		case lostWrite:
-			// Acknowledge without updating media. Occupancy and stats
-			// still accrue: the request was issued and "serviced".
-			d, _ := m.locate(addr)
-			d.busyCyc += m.p.WriteOccupancyCyc
-			d.writes++
-			if m.st != nil {
-				m.addWriteStats(class)
+	if len(m.bugsW) != 0 {
+		if b, ok := m.bugsW[addr]; ok && class == Data {
+			delete(m.bugsW, addr)
+			switch b.kind {
+			case lostWrite:
+				// Acknowledge without updating media. Occupancy and stats
+				// still accrue: the request was issued and "serviced".
+				d, _ := m.locate(addr)
+				d.busyCyc += m.p.WriteOccupancyCyc
+				d.writes++
+				if m.st != nil {
+					m.addWriteStats(class)
+				}
+				return now + m.p.WriteCyc
+			case misdirectedWrite:
+				dst = b.target
 			}
-			return now + m.p.WriteCyc
-		case misdirectedWrite:
-			dst = b.target
 		}
 	}
 	d, off := m.locate(dst)
@@ -252,7 +302,7 @@ func (m *Memory) WriteLine(now uint64, addr uint64, class Class, data []byte) ui
 		m.addWriteStats(class)
 	}
 	copy(d.data[off:off+uint64(m.lineSize)], data)
-	d.ecc[off/uint64(m.lineSize)] = xsum.Checksum(data)
+	d.ecc[m.eccIndex(off)] = xsum.Checksum(data)
 	return now + m.p.WriteCyc
 }
 
@@ -293,7 +343,7 @@ func (m *Memory) WriteRaw(addr uint64, data []byte) {
 		}
 		copy(d.data[off+lo:], data[n:n+c])
 		full := d.data[off : off+uint64(m.lineSize)]
-		d.ecc[off/uint64(m.lineSize)] = xsum.Checksum(full)
+		d.ecc[m.eccIndex(off)] = xsum.Checksum(full)
 		n += c
 	}
 }

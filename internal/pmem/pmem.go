@@ -71,6 +71,12 @@ type Heap struct {
 
 	objects  map[uint64]Object   // id → object
 	freeList map[uint64][]uint64 // size → payload offsets
+
+	// txs pools one reusable Tx per lane: the lane model admits a single
+	// live transaction per core (Begin re-arms the same persistent lane),
+	// so Begin recycles the core's Tx — with its ranges/entries slices and
+	// dedup map — instead of allocating per transaction.
+	txs []*Tx
 }
 
 // NewHeap initializes a heap over m with one undo-log lane per core.
@@ -153,6 +159,7 @@ type Tx struct {
 	ranges  []Range
 	logged  map[uint64]bool // line-granular dedup of snapshots
 	entries []logEntry      // snapshots taken, in order, for Abort
+	snap    []byte          // scratch for undo images (reused across snapshots)
 }
 
 // logEntry locates one undo image in the lane.
@@ -160,14 +167,27 @@ type logEntry struct {
 	off, n, logData uint64
 }
 
-// Begin starts a transaction on core c, persisting the lane state.
+// Begin starts a transaction on core c, persisting the lane state. The
+// returned Tx is valid until the core's next Begin (it is recycled per
+// lane); Commit or Abort must run before the same core begins again.
 func (h *Heap) Begin(c *sim.Core) *Tx {
 	if c.ID >= h.lanes {
 		panic(fmt.Sprintf("pmem: core %d has no lane (%d lanes)", c.ID, h.lanes))
 	}
-	lane := headerBytes + uint64(c.ID)*laneBytes
-	tx := &Tx{h: h, c: c, lane: lane, logOff: lane + 8, logged: make(map[uint64]bool)}
-	h.Map.Store64(c, lane+laneState, laneArmed)
+	if h.txs == nil {
+		h.txs = make([]*Tx, h.lanes)
+	}
+	tx := h.txs[c.ID]
+	if tx == nil {
+		tx = &Tx{h: h, lane: headerBytes + uint64(c.ID)*laneBytes, logged: make(map[uint64]bool)}
+		h.txs[c.ID] = tx
+	}
+	tx.c = c
+	tx.logOff = tx.lane + 8
+	tx.ranges = tx.ranges[:0]
+	tx.entries = tx.entries[:0]
+	clear(tx.logged)
+	h.Map.Store64(c, tx.lane+laneState, laneArmed)
 	return tx
 }
 
@@ -185,7 +205,10 @@ func (tx *Tx) Snapshot(objID, off, n uint64) {
 		// snapshot data still costs its loads and stores).
 		tx.logOff = tx.lane + 8
 	}
-	buf := make([]byte, n)
+	if uint64(cap(tx.snap)) < n {
+		tx.snap = make([]byte, n)
+	}
+	buf := tx.snap[:n]
 	tx.h.Map.Load(tx.c, off, buf)
 	tx.h.Map.Store64(tx.c, tx.logOff, off)
 	tx.h.Map.Store64(tx.c, tx.logOff+8, n)

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"tvarak/internal/param"
+)
+
+// Benchmarks for the per-access engine path — the Load/Store → cache walk →
+// fill/evict chain that runs once per simulated memory access. Warm-hit
+// benches isolate the L1 fast path; the miss benches stream a footprint
+// larger than every cache so each access walks the full hierarchy.
+
+func mkBenchEngine(b *testing.B) *Engine {
+	b.Helper()
+	e, err := New(param.SmallTest(param.Baseline))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// runOn drives fn as the single worker of one engine Run.
+func runOn(b *testing.B, e *Engine, fn func(*Core)) {
+	b.Helper()
+	e.Run([]func(*Core){fn})
+	if err := e.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLoadL1Hit(b *testing.B) {
+	e := mkBenchEngine(b)
+	addr := e.Geo.NVMBase()
+	var buf [8]byte
+	runOn(b, e, func(c *Core) { c.Load(addr, buf[:]) }) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	runOn(b, e, func(c *Core) {
+		for i := 0; i < b.N; i++ {
+			c.Load(addr, buf[:])
+		}
+	})
+}
+
+func BenchmarkStoreL1Hit(b *testing.B) {
+	e := mkBenchEngine(b)
+	addr := e.Geo.NVMBase()
+	var buf [8]byte
+	runOn(b, e, func(c *Core) { c.Store(addr, buf[:]) }) // warm
+	b.ReportAllocs()
+	b.ResetTimer()
+	runOn(b, e, func(c *Core) {
+		for i := 0; i < b.N; i++ {
+			c.Store(addr, buf[:])
+		}
+	})
+}
+
+// BenchmarkLoadMissStream reads one line per iteration from a footprint
+// larger than the LLC, so every access misses through L1/L2/LLC into NVM
+// and evicts a clean line.
+func BenchmarkLoadMissStream(b *testing.B) {
+	e := mkBenchEngine(b)
+	base := e.Geo.NVMBase()
+	span := uint64(4 << 20) // > 1 MB SmallTest LLC
+	var buf [8]byte
+	runOn(b, e, func(c *Core) { // touch once so media/ECC are settled
+		for a := uint64(0); a < span; a += 64 {
+			c.Load(base+a, buf[:])
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	runOn(b, e, func(c *Core) {
+		for i := 0; i < b.N; i++ {
+			c.Load(base+(uint64(i)*64)%span, buf[:])
+		}
+	})
+}
+
+// BenchmarkStoreMissStream writes one line per iteration over a footprint
+// larger than the LLC: every access misses, and steady-state evictions are
+// dirty, exercising the writeback path.
+func BenchmarkStoreMissStream(b *testing.B) {
+	e := mkBenchEngine(b)
+	base := e.Geo.NVMBase()
+	span := uint64(4 << 20)
+	var buf [8]byte
+	runOn(b, e, func(c *Core) {
+		for a := uint64(0); a < span; a += 64 {
+			c.Store(base+a, buf[:])
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	runOn(b, e, func(c *Core) {
+		for i := 0; i < b.N; i++ {
+			c.Store(base+(uint64(i)*64)%span, buf[:])
+		}
+	})
+}
+
+// BenchmarkPhaseBoundary measures the bound-weave scheduler handoff: each
+// iteration advances one full phase, forcing a yield → grant round trip
+// plus the barrier bookkeeping (maxClock, sampler/tracer hooks).
+func BenchmarkPhaseBoundary(b *testing.B) {
+	e := mkBenchEngine(b)
+	phase := e.Cfg.PhaseCyc
+	if phase == 0 {
+		phase = 10000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	runOn(b, e, func(c *Core) {
+		for i := 0; i < b.N; i++ {
+			c.Compute(phase)
+		}
+	})
+}
+
+// BenchmarkRunStartStop measures the fixed cost of one engine Run call
+// (goroutine spawn, channel setup, drain) with no work in it.
+func BenchmarkRunStartStop(b *testing.B) {
+	e := mkBenchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOn(b, e, func(c *Core) {})
+	}
+}

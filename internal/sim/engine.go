@@ -19,6 +19,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"tvarak/internal/cache"
 	"tvarak/internal/geom"
@@ -77,6 +78,19 @@ type Engine struct {
 
 	dataWays int
 	lineBuf  []byte
+	// evictBuf holds the pre-merge clean content of an LLC victim for the
+	// duration of one evictLLC call (OnWriteback consumes it synchronously),
+	// avoiding a per-eviction allocation.
+	evictBuf []byte
+	// Precomputed line/bank indexing for BankIndex, which runs on every LLC
+	// access: shift when the line size is a power of two, mask when the
+	// bank count is (the full-scale machine has 12 banks, so the modulo
+	// fallback stays).
+	lineShift uint
+	linePow2  bool
+	nbanks    uint64
+	bankMask  uint64
+	bankPow2  bool
 
 	// Cancellation and containment state (see Run). ctx is observed only
 	// at bound-weave phase boundaries; cancelled tells yielded workers to
@@ -119,6 +133,16 @@ func New(cfg *param.Config) (*Engine, error) {
 		St:       &stats.Stats{},
 		dataWays: cfg.DataWays(),
 		lineBuf:  make([]byte, cfg.LineSize),
+		evictBuf: make([]byte, cfg.LineSize),
+	}
+	if ls := uint64(cfg.LineSize); ls&(ls-1) == 0 {
+		e.linePow2 = true
+		e.lineShift = uint(bits.TrailingZeros64(ls))
+	}
+	e.nbanks = uint64(cfg.LLCBanks)
+	if e.nbanks&(e.nbanks-1) == 0 {
+		e.bankPow2 = true
+		e.bankMask = e.nbanks - 1
 	}
 	e.NVM = nvm.New(nvm.NVMKind, geo, cfg.NVM, e.St)
 	e.DRAM = nvm.New(nvm.DRAMKind, geo, cfg.DRAM, e.St)
@@ -186,7 +210,16 @@ func (e *Engine) Bank(la uint64) *cache.Cache {
 // BankIndex returns the index of the LLC bank that la maps to; the TVARAK
 // controller co-located with that bank handles la's redundancy.
 func (e *Engine) BankIndex(la uint64) int {
-	return int((la / uint64(e.Cfg.LineSize)) % uint64(len(e.Banks)))
+	var idx uint64
+	if e.linePow2 {
+		idx = la >> e.lineShift
+	} else {
+		idx = la / uint64(e.Cfg.LineSize)
+	}
+	if e.bankPow2 {
+		return int(idx & e.bankMask)
+	}
+	return int(idx % e.nbanks)
 }
 
 // mem returns the device backing addr.
@@ -317,10 +350,9 @@ func (e *Engine) resolveSharers(c *Core, ll *cache.Line, write bool) uint64 {
 		return 0
 	}
 	var extra uint64
-	for _, d := range e.Cores {
-		if others&ownerBit(d.ID) == 0 {
-			continue
-		}
+	for rem := others; rem != 0; { // visit owner cores in ascending ID order
+		d := e.Cores[bits.TrailingZeros64(rem)]
+		rem &^= ownerBit(d.ID)
 		extra = e.Cfg.LLCBank.LatencyCyc // one snoop round
 		e.St.AddCache(stats.L2, true, e.Cfg.L2.HitEnergyPJ)
 		newest := e.newestPrivate(d, ll.Addr)
@@ -391,10 +423,9 @@ func (e *Engine) upgrade(c *Core, la uint64) uint64 {
 		panic(fmt.Sprintf("sim: LLC inclusion violated for %#x", la))
 	}
 	e.St.AddCache(stats.LLC, true, e.Cfg.LLCBank.HitEnergyPJ)
-	for _, d := range e.Cores {
-		if d.ID == c.ID || ll.Owners&ownerBit(d.ID) == 0 {
-			continue
-		}
+	for rem := ll.Owners &^ ownerBit(c.ID); rem != 0; {
+		d := e.Cores[bits.TrailingZeros64(rem)]
+		rem &^= ownerBit(d.ID)
 		if newest := e.newestPrivate(d, la); newest != nil {
 			e.mergeIntoLLC(c, ll, newest)
 		}
@@ -462,13 +493,15 @@ func (e *Engine) evictL2(c *Core, v *cache.Line) {
 func (e *Engine) evictLLC(now uint64, v *cache.Line) {
 	var oldClean []byte
 	wasClean := v.State != cache.Modified
-	for _, d := range e.Cores {
-		if v.Owners&ownerBit(d.ID) == 0 {
-			continue
-		}
+	for rem := v.Owners; rem != 0; {
+		d := e.Cores[bits.TrailingZeros64(rem)]
+		rem &^= ownerBit(d.ID)
 		if newest := e.newestPrivate(d, v.Addr); newest != nil {
 			if wasClean && oldClean == nil {
-				oldClean = append([]byte(nil), v.Data...)
+				// evictBuf is consumed synchronously by writebackLine's
+				// OnWriteback call below, before this function returns.
+				copy(e.evictBuf, v.Data)
+				oldClean = e.evictBuf
 			}
 			copy(v.Data, newest)
 			v.State = cache.Modified

@@ -1,0 +1,10 @@
+//go:build race
+
+package tvarak_test
+
+// raceEnabled lets long end-to-end tests skip under `go test -race`: the
+// race detector slows the simulator ~10x, and the golden-table experiments
+// would blow the package test timeout on small CI machines. The behaviour
+// those tests gate (byte-identical tables) is covered by the regular test
+// pass; the race pass keeps the shorter concurrency-focused tests.
+func init() { raceEnabled = true }
