@@ -30,7 +30,9 @@ go test ./...
 echo "== go test -race (parallel harness gate) =="
 # harness/experiments: concurrent experiment cells must share no state.
 # sim/core: the bound-weave engine's grant/yield handoff and the Tvarak
-# controller under it are the hottest cross-goroutine surface.
+# controller under it are the hottest cross-goroutine surface; this now
+# includes the TestShard* suite, which drives the sharded weave (SPSC
+# rings, redundancy tickets, barrier merges) under the race detector.
 # fault: campaign units run on the worker pool and app workers are wrapped
 # with panic containment.
 # obs: tracers and samplers are fed from concurrent cells' engines.
@@ -95,9 +97,21 @@ if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
 fi
 "$tmp/tvarak-sim" -compare "testdata/ci-golden.json,$tmp/run1.json"
 
+echo "== shard-determinism gate =="
+# The weave phase sharded over 2 and 4 OS threads must leave the metrics
+# export byte-identical to the serial run (DESIGN.md "Parallel weave").
+# -parallel 1 keeps the run to one cell at a time so the shard workers,
+# not cross-cell parallelism, are what executes concurrently.
+sh=(-exp fig8-stream -scale 0.05 -designs baseline,tvarak -parallel 1)
+"$tmp/tvarak-sim" "${sh[@]}" -shards 1 -metrics-out "$tmp/shard1.json" >/dev/null
+"$tmp/tvarak-sim" "${sh[@]}" -shards 2 -metrics-out "$tmp/shard2.json" >/dev/null
+"$tmp/tvarak-sim" "${sh[@]}" -shards 4 -metrics-out "$tmp/shard4.json" >/dev/null
+cmp "$tmp/shard1.json" "$tmp/shard2.json"
+cmp "$tmp/shard1.json" "$tmp/shard4.json"
+
 echo "== bench-regression gate =="
 # Hot-path benchmark suite at fixed iteration counts, gated against the
-# committed BENCH_5.json: allocs/op and B/op fail on a >10% increase,
+# committed BENCH_6.json: allocs/op and B/op fail on a >10% increase,
 # simulated cycles/accesses fail on ANY drift (they are deterministic), and
 # wall-clock ns/op is reported but only enforced when BENCH_NS_TOL is set
 # (e.g. BENCH_NS_TOL=0.10 on a quiet dedicated machine — wall-clock baselines
@@ -105,10 +119,10 @@ echo "== bench-regression gate =="
 # intentional perf-relevant change, regenerate with: UPDATE_BENCH=1 ./ci.sh
 go build -o "$tmp/benchdiff" ./tools/benchdiff
 if [ "${UPDATE_BENCH:-0}" = "1" ]; then
-    "$tmp/benchdiff" -out BENCH_5.json >/dev/null
-    echo "regenerated BENCH_5.json"
+    "$tmp/benchdiff" -out BENCH_6.json >/dev/null
+    echo "regenerated BENCH_6.json"
 fi
-"$tmp/benchdiff" -out "$tmp/bench.json" -baseline BENCH_5.json \
+"$tmp/benchdiff" -out "$tmp/bench.json" -baseline BENCH_6.json \
     -ns-tol "${BENCH_NS_TOL:-0}"
 
 echo "== interrupt-and-resume gate =="

@@ -60,6 +60,7 @@ func main() {
 		designs  = flag.String("designs", "", "comma-separated subset of designs (baseline,tvarak,txb-object,txb-page,vilamb)")
 		jsonOut  = flag.Bool("json", false, "emit one JSON object per run instead of tables")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulation cells running concurrently (1 = sequential; tables are identical at any level)")
+		shards   = flag.Int("shards", 1, "OS threads sharing each cell's weave phase (1 = serial; tables are byte-identical at any level; combine with -parallel 1)")
 		progress = flag.Bool("progress", false, "print per-cell completion, timing and live counters to stderr as cells finish")
 
 		metricsOut  = flag.String("metrics-out", "", "write the versioned machine-readable export to this path (CSV when it ends in .csv, JSON otherwise)")
@@ -125,7 +126,7 @@ func main() {
 
 	opts := experiments.Options{
 		Scale: *scale, FullScale: *full, Designs: parseDesigns(*designs),
-		Parallel: *parallel, SampleEvery: *sampleEvery,
+		Parallel: *parallel, Shards: *shards, SampleEvery: *sampleEvery,
 		Context: ctx, CellTimeout: *cellTimeout, Retries: *retries, Degrade: *keepGoing,
 	}
 	var journal *tvarak.RunJournal

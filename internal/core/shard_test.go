@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tvarak/internal/core"
+	"tvarak/internal/daxfs"
+	"tvarak/internal/param"
+	"tvarak/internal/sim"
+	"tvarak/internal/stats"
+)
+
+// shardSys builds a small Tvarak machine with the given weave shard count
+// and one mapped 1 MB file.
+func shardSys(t *testing.T, shards int) (*sim.Engine, *daxfs.DaxMap) {
+	t.Helper()
+	cfg := param.SmallTest(param.Tvarak)
+	cfg.Shards = shards
+	e, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := core.New(e)
+	fs, err := daxfs.New(e, ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("data", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.MMap("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, m
+}
+
+// runShardedTvarak drives the full controller surface — DAX fills with
+// checksum verification, writebacks with checksum+parity update, diff
+// stashes, redundancy-partition evictions — on a 4-core workload over
+// disjoint quarters of the mapping, and returns the final stats, DIMM
+// occupancy and raw file content.
+func runShardedTvarak(t *testing.T, shards int) (stats.Stats, [2]uint64, []byte) {
+	t.Helper()
+	e, m := shardSys(t, shards)
+	workers := make([]func(*sim.Core), 4)
+	for i := range workers {
+		id := i
+		workers[i] = func(c *sim.Core) {
+			base := uint64(id) * (256 << 10)
+			rng := rand.New(rand.NewSource(int64(7 + id)))
+			var b [8]byte
+			for n := 0; n < 2500; n++ {
+				off := base + uint64(rng.Intn((256<<10)/64))*64
+				c.Store64(m.Addr(off), rng.Uint64())
+				c.Load(m.Addr(base+uint64(rng.Intn((256<<10)/64))*64), b[:])
+				c.Compute(uint64(rng.Intn(30)))
+			}
+		}
+	}
+	e.Run(workers)
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if e.St.CorruptionsDetected != 0 {
+		t.Fatalf("shards=%d: %d unexpected corruptions", shards, e.St.CorruptionsDetected)
+	}
+	media := make([]byte, 1<<20)
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		e.NVM.ReadRaw(m.Addr(off), media[off:off+4096])
+	}
+	return *e.St, [2]uint64{e.NVM.BusyUntil(), e.DRAM.BusyUntil()}, media
+}
+
+// TestShardTvarakIdentity extends the tentpole gate to the TVARAK design:
+// the controller's deferred writeback bundles (checksum + parity
+// read-modify-writes, diff evictions, on-controller cache traffic) must
+// leave statistics, DIMM timing and media byte-identical to a serial run.
+func TestShardTvarakIdentity(t *testing.T) {
+	refSt, refBusy, refMedia := runShardedTvarak(t, 1)
+	for _, shards := range []int{2, 4} {
+		st, busy, media := runShardedTvarak(t, shards)
+		if st != refSt {
+			t.Errorf("shards=%d: stats diverge from serial run:\nserial:  %+v\nsharded: %+v", shards, refSt, st)
+		}
+		if busy != refBusy {
+			t.Errorf("shards=%d: DIMM occupancy %v, serial %v", shards, busy, refBusy)
+		}
+		if !bytes.Equal(media, refMedia) {
+			t.Errorf("shards=%d: media content diverges from serial run", shards)
+		}
+	}
+	if refSt.Writebacks == 0 || refSt.NVM.DataWrites == 0 {
+		t.Fatalf("workload too light to exercise the shard rings: %+v", refSt)
+	}
+}
+
+// TestShardTvarakRecoveryDegrades injects a media corruption mid-run: the
+// injection surface must drop the engine to serial execution, after which
+// the controller still detects and repairs the corruption.
+func TestShardTvarakRecoveryDegrades(t *testing.T) {
+	e, m := shardSys(t, 4)
+	var detected int
+	e.Red.(*core.Controller).CorruptionHook = func(addr uint64) { detected++ }
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		c.Store64(m.Addr(0), 0x1234)
+	}})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	e.DropCaches()
+	e.NVM.FlipBit(m.Addr(0), 3)
+	e.Run([]func(*sim.Core){func(c *sim.Core) {
+		if got := c.Load64(m.Addr(0)); got != 0x1234 {
+			t.Errorf("load after corruption returned %#x, want 0x1234", got)
+		}
+	}})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if detected != 1 {
+		t.Errorf("corruption detections = %d, want 1", detected)
+	}
+	if e.St.Recoveries == 0 {
+		t.Error("no recovery recorded after injected corruption")
+	}
+}

@@ -49,10 +49,21 @@ type Mapping struct {
 }
 
 // Controller is the TVARAK controller complex.
+//
+// All media, statistics and event traffic flows through the rebindable
+// execution context (st, mem, emit) rather than the engine's fields
+// directly: the sharded engine (sim.ShardableController) points these at a
+// worker's private sinks while a deferred writeback bundle runs on that
+// worker, and back at the engine's sinks for inline calls. Controller
+// calls are never concurrent with each other (deferred bundles are
+// globally ticket-ordered and inline calls quiesce them first), so the
+// scratch buffers below stay safe.
 type Controller struct {
-	eng *sim.Engine
-	p   param.TvarakParams
-	st  *stats.Stats
+	eng  *sim.Engine
+	p    param.TvarakParams
+	st   *stats.Stats
+	mem  nvm.Accessor
+	emit func(obs.EventKind, uint64, uint64, uint64)
 
 	mappings []Mapping
 	// pageCsumDI is the data-page index of the file system's global
@@ -90,6 +101,8 @@ func New(eng *sim.Engine) *Controller {
 		eng:           eng,
 		p:             p,
 		st:            eng.St,
+		mem:           eng.NVM.Direct(),
+		emit:          eng.Emit,
 		holders:       make(map[uint64]uint64),
 		lineSize:      cfg.LineSize,
 		scratchOld:    make([]byte, cfg.LineSize),
@@ -108,6 +121,14 @@ func New(eng *sim.Engine) *Controller {
 	if p.Features.DataDiffs {
 		t.diffHi = t.redHi + p.DiffWays
 	}
+	// The engine and controller only ever run LRU victim selection within
+	// one way partition (data / redundancy / diff), so give each partition
+	// its own LRU tick stream. Ordering within a partition is unchanged;
+	// the split only decouples the partitions' counters so the sharded
+	// engine's workers never race on a shared tick (see DESIGN.md).
+	for _, b := range eng.Banks {
+		b.SetPartitions(dataWays, t.redHi, t.diffHi)
+	}
 	if p.Features.RedundancyCaching {
 		t.onCtrl = make([]*cache.Cache, len(eng.Banks))
 		lines := p.OnCtrlCacheBytes / cfg.LineSize
@@ -119,6 +140,14 @@ func New(eng *sim.Engine) *Controller {
 	}
 	eng.SetRedundancy(t)
 	return t
+}
+
+// SetShardExec rebinds the controller's execution context: the stats sink,
+// the (possibly worker-accounted) NVM accessor and the event emitter. The
+// sharded engine calls it around deferred writeback bundles; it implements
+// sim.ShardableController.
+func (t *Controller) SetShardExec(st *stats.Stats, mem nvm.Accessor, emit func(obs.EventKind, uint64, uint64, uint64)) {
+	t.st, t.mem, t.emit = st, mem, emit
 }
 
 // RegisterMapping programs the controller's comparators for a newly
@@ -210,7 +239,7 @@ type redLine struct {
 func (t *Controller) redGet(now uint64, bank int, addr uint64, lat *uint64) redLine {
 	if !t.p.Features.RedundancyCaching {
 		buf := t.scratchNoCash
-		done, _ := t.eng.NVM.ReadLine(now, addr, nvm.Redundancy, buf)
+		done, _ := t.mem.ReadLine(now, addr, nvm.Redundancy, buf)
 		*lat += done - now
 		return redLine{Data: buf, addr: addr}
 	}
@@ -243,7 +272,7 @@ func (t *Controller) redPut(now uint64, rl redLine) {
 		rl.cached.State = cache.Modified
 		return
 	}
-	t.eng.NVM.WriteLine(now, rl.addr, nvm.Redundancy, rl.Data)
+	t.mem.WriteLine(now, rl.addr, nvm.Redundancy, rl.Data)
 }
 
 // claimExclusive invalidates every other bank's on-controller copy of addr,
@@ -269,7 +298,7 @@ func (t *Controller) claimExclusive(now uint64, addr uint64, bank int) {
 		}
 		oc.Invalidate(l)
 		t.st.RedInvalidations++
-		t.eng.Emit(obs.EvRedInval, now, addr, uint64(b))
+		t.emit(obs.EvRedInval, now, addr, uint64(b))
 	}
 	t.holders[addr] &= 1 << uint(bank)
 }
@@ -311,7 +340,7 @@ func (t *Controller) llcRedGet(now uint64, addr uint64, lat *uint64) *cache.Line
 	t.st.AddCache(stats.LLC, false, cfg.LLCBank.MissEnergyPJ)
 	// Install copies, so the fill scratch never escapes this call.
 	buf := t.scratchFill
-	done, _ := t.eng.NVM.ReadLine(now, addr, nvm.Redundancy, buf)
+	done, _ := t.mem.ReadLine(now, addr, nvm.Redundancy, buf)
 	*lat += done - now
 	v := b.Victim(addr, t.redLo, t.redHi)
 	if v.State != cache.Invalid {
@@ -338,13 +367,13 @@ func (t *Controller) evictRedLLC(now uint64, v *cache.Line) {
 				}
 				oc.Invalidate(l)
 				t.st.RedInvalidations++
-				t.eng.Emit(obs.EvRedInval, now, v.Addr, uint64(b))
+				t.emit(obs.EvRedInval, now, v.Addr, uint64(b))
 			}
 		}
 		delete(t.holders, v.Addr)
 	}
 	if v.Dirty() {
-		t.eng.NVM.WriteLine(now, v.Addr, nvm.Redundancy, v.Data)
+		t.mem.WriteLine(now, v.Addr, nvm.Redundancy, v.Data)
 	}
 	t.eng.Bank(v.Addr).Invalidate(v)
 }

@@ -39,6 +39,12 @@ type Options struct {
 	// Parallel bounds how many cells simulate concurrently: 0 means one
 	// per CPU, 1 means sequential. Results are identical at any level.
 	Parallel int
+	// Shards spreads each cell's weave phase across up to this many OS
+	// threads (0 or 1 = fully serial). Results are byte-identical at any
+	// setting — see DESIGN.md §"Parallel weave" — so Shards is
+	// deliberately excluded from journal fingerprints. Combine with
+	// Parallel=1 to avoid oversubscribing CPUs.
+	Shards int
 	// Progress, if non-nil, is called after each cell completes.
 	Progress harness.Progress
 	// SampleEvery, when non-zero, samples every cell's measured run into
@@ -82,10 +88,14 @@ func (o Options) designs() []param.Design {
 }
 
 func (o Options) config(d param.Design) *param.Config {
+	var c *param.Config
 	if o.FullScale {
-		return param.Default(d)
+		c = param.Default(d)
+	} else {
+		c = param.ReproScale(d)
 	}
-	return param.ReproScale(d)
+	c.Shards = o.Shards
+	return c
 }
 
 func (o Options) scale(n int) int {

@@ -219,8 +219,10 @@ func (s *System) WithDaemons(workers []func(*sim.Core)) []func(*sim.Core) {
 		wrapped = append(wrapped, func(c *sim.Core) {
 			const slice = 10000 // interruptible sleep so daemon idle time does not pad the fixed-work runtime
 			for !stop {
-				for slept := uint64(0); !stop && slept < param.VilambEpochCyc; slept += slice {
-					c.Compute(slice)
+				for slept := uint64(0); !stop && slept < param.VilambEpochCyc; {
+					step := min(slice, param.VilambEpochCyc-slept)
+					c.Compute(step)
+					slept += step
 				}
 				for _, v := range vs {
 					v.ProcessEpoch(c)

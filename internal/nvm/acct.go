@@ -1,0 +1,69 @@
+package nvm
+
+import "tvarak/internal/stats"
+
+// Acct is a detached accounting sink for timed media accesses: per-DIMM
+// occupancy and access counters plus a stats accumulator, all private to
+// one shard worker. The sharded engine gives each worker an Acct per
+// device so deferred writebacks account without touching the device's own
+// counters, then folds the deltas back with Apply at each phase barrier.
+// All folded quantities are sums of integers (energy is integral
+// picojoules), so the merged totals are independent of execution order.
+type Acct struct {
+	st     *stats.Stats
+	busy   []uint64
+	reads  []uint64
+	writes []uint64
+}
+
+// NewAcct returns an accounting sink for this device feeding st.
+func (m *Memory) NewAcct(st *stats.Stats) *Acct {
+	return &Acct{
+		st:     st,
+		busy:   make([]uint64, len(m.dimms)),
+		reads:  make([]uint64, len(m.dimms)),
+		writes: make([]uint64, len(m.dimms)),
+	}
+}
+
+// Apply folds a's per-DIMM deltas into the device counters and zeroes
+// them. The caller owns a's stats accumulator and merges it separately.
+// Must run on the engine thread with the owning worker quiescent.
+func (m *Memory) Apply(a *Acct) {
+	for i, d := range m.dimms {
+		d.busyCyc += a.busy[i]
+		d.reads += a.reads[i]
+		d.writes += a.writes[i]
+		a.busy[i] = 0
+		a.reads[i] = 0
+		a.writes[i] = 0
+	}
+}
+
+// Accessor is a Memory handle bound to an accounting sink: a nil Acct
+// accounts directly on the device (the serial engine path), a non-nil one
+// diverts occupancy/stats into the worker-private sink. Media content and
+// ECC always go to the shared device either way.
+type Accessor struct {
+	m *Memory
+	a *Acct
+}
+
+// Direct returns an accessor that accounts on the device itself.
+func (m *Memory) Direct() Accessor { return Accessor{m: m} }
+
+// Via returns an accessor that accounts into a.
+func (m *Memory) Via(a *Acct) Accessor { return Accessor{m: m, a: a} }
+
+// Mem returns the underlying device.
+func (ac Accessor) Mem() *Memory { return ac.m }
+
+// ReadLine is Memory.ReadLine through the bound accounting sink.
+func (ac Accessor) ReadLine(now uint64, addr uint64, class Class, buf []byte) (uint64, error) {
+	return ac.m.readLine(ac.a, now, addr, class, buf)
+}
+
+// WriteLine is Memory.WriteLine through the bound accounting sink.
+func (ac Accessor) WriteLine(now uint64, addr uint64, class Class, data []byte) uint64 {
+	return ac.m.writeLine(ac.a, now, addr, class, data)
+}

@@ -165,6 +165,7 @@ func (e *Engine) Run(workers []func(*Core)) {
 			w(c)
 		}(c, w)
 	}
+	e.startShards()
 	phase := e.Cfg.PhaseCyc
 	if phase == 0 {
 		phase = 10000
@@ -183,6 +184,12 @@ func (e *Engine) Run(workers []func(*Core)) {
 		}
 		if !alive {
 			break
+		}
+		if e.shardOn {
+			// Quiesce the shard workers and fold their stats, DIMM timing
+			// and buffered events back in, so the sampler and tracer below
+			// observe exactly the serial run's phase snapshot.
+			e.shardBarrier()
 		}
 		if e.Sampler != nil {
 			e.Sampler.Observe(e.maxClock(), e.St)
@@ -264,6 +271,10 @@ func (e *Engine) DropCaches() {
 // dirty redundancy, then records the run's cycle count: the latest of all
 // core clocks and DIMM busy times.
 func (e *Engine) drain() {
+	// Flush and park the shard workers first (no-op when serial): the
+	// drain's own writebacks and the controller's Drain then run inline on
+	// fully merged state, exactly as in a serial run.
+	e.stopShards()
 	for _, c := range e.Cores {
 		e.flushPrivate(c)
 	}

@@ -57,6 +57,18 @@ type RedundancyController interface {
 	Drain(now uint64)
 }
 
+// ShardableController is a RedundancyController whose execution context —
+// the stats sink it accumulates into, the NVM accessor it reads/writes
+// media through, and the event sink it traces to — can be rebound. The
+// sharded engine points these at a worker's private sinks before running a
+// deferred OnWriteback bundle on that worker, and back at the engine's own
+// sinks before every inline (latency-bearing) call. A controller that does
+// not implement this keeps the engine serial at any Shards setting.
+type ShardableController interface {
+	RedundancyController
+	SetShardExec(st *stats.Stats, mem nvm.Accessor, emit func(obs.EventKind, uint64, uint64, uint64))
+}
+
 // Engine owns the simulated machine.
 type Engine struct {
 	Cfg   *param.Config
@@ -99,6 +111,15 @@ type Engine struct {
 	ctx       context.Context
 	cancelled bool
 	runErr    error
+
+	// Sharded-weave state (see shard.go): shards is the configured worker
+	// count, srt the lazily built runtime, shardOn whether deferral is
+	// active for the current Run, and emitFn a preallocated method value of
+	// Emit handed to the controller as its engine-side event sink.
+	shards  int
+	srt     *shardRT
+	shardOn bool
+	emitFn  func(obs.EventKind, uint64, uint64, uint64)
 }
 
 // WorkloadPanicError is the structured error a contained workload panic
@@ -134,7 +155,9 @@ func New(cfg *param.Config) (*Engine, error) {
 		dataWays: cfg.DataWays(),
 		lineBuf:  make([]byte, cfg.LineSize),
 		evictBuf: make([]byte, cfg.LineSize),
+		shards:   max(1, cfg.Shards),
 	}
+	e.emitFn = e.Emit
 	if ls := uint64(cfg.LineSize); ls&(ls-1) == 0 {
 		e.linePow2 = true
 		e.lineShift = uint(bits.TrailingZeros64(ls))
@@ -349,11 +372,14 @@ func (e *Engine) resolveSharers(c *Core, ll *cache.Line, write bool) uint64 {
 	if others == 0 {
 		return 0
 	}
-	var extra uint64
+	// One snoop round resolves all sharers regardless of their count: the
+	// directory broadcasts in parallel and the slowest response bounds the
+	// added latency (see DESIGN.md). Energy and L2 accesses still accrue
+	// per owner below.
+	extra := e.Cfg.LLCBank.LatencyCyc
 	for rem := others; rem != 0; { // visit owner cores in ascending ID order
 		d := e.Cores[bits.TrailingZeros64(rem)]
 		rem &^= ownerBit(d.ID)
-		extra = e.Cfg.LLCBank.LatencyCyc // one snoop round
 		e.St.AddCache(stats.L2, true, e.Cfg.L2.HitEnergyPJ)
 		newest := e.newestPrivate(d, ll.Addr)
 		if newest != nil {
@@ -389,6 +415,12 @@ func (e *Engine) newestPrivate(d *Core, la uint64) []byte {
 // old content as a diff).
 func (e *Engine) mergeIntoLLC(c *Core, ll *cache.Line, newest []byte) {
 	if ll.State != cache.Modified && e.Red != nil && e.Geo.IsNVM(ll.Addr) {
+		if e.shardOn {
+			// OnDirtyInstall mutates engine-visible controller state (diff
+			// partition, possible early writeback): run it inline against
+			// serially-consistent controller state.
+			e.redInline()
+		}
 		e.Red.OnDirtyInstall(c.Clock, ll.Addr, ll.Data)
 	}
 	copy(ll.Data, newest)
@@ -441,9 +473,25 @@ func (e *Engine) fillLLC(c *Core, la uint64, lat *uint64) *cache.Line {
 	issue := c.Clock + *lat
 	buf := e.lineBuf
 	m := e.mem(la)
-	complete, _ := m.ReadLine(issue, la, nvm.Data, buf) // ECC errors are counted by the device
+	isNVM := e.Geo.IsNVM(la)
+	var complete uint64
+	if e.shardOn {
+		// Deferred media writes to la must land before we read it; under a
+		// controller every NVM write is redundancy-ticketed, and OnFill
+		// below needs all prior redundancy work retired anyway.
+		if isNVM && e.Red != nil {
+			e.redInline()
+		} else {
+			e.waitLineClear(la)
+		}
+		var ecc uint32
+		complete, ecc = m.ReadLineDeferred(issue, la, nvm.Data, buf)
+		e.enqueueVerify(m, la, ecc, buf)
+	} else {
+		complete, _ = m.ReadLine(issue, la, nvm.Data, buf) // ECC errors are counted by the device
+	}
 	*lat += complete - issue
-	if e.Geo.IsNVM(la) {
+	if isNVM {
 		e.St.Fills++
 		var extra uint64
 		if e.Red != nil {
@@ -498,8 +546,9 @@ func (e *Engine) evictLLC(now uint64, v *cache.Line) {
 		rem &^= ownerBit(d.ID)
 		if newest := e.newestPrivate(d, v.Addr); newest != nil {
 			if wasClean && oldClean == nil {
-				// evictBuf is consumed synchronously by writebackLine's
-				// OnWriteback call below, before this function returns.
+				// evictBuf is consumed before this function returns: the
+				// serial path hands it to OnWriteback synchronously, the
+				// sharded path snapshots it into the ring slot at enqueue.
 				copy(e.evictBuf, v.Data)
 				oldClean = e.evictBuf
 			}
@@ -527,13 +576,25 @@ func (e *Engine) evictLLC(now uint64, v *cache.Line) {
 // the line had before it went dirty (supplied only when no diff was ever
 // stashed for it).
 func (e *Engine) writebackLine(now uint64, addr uint64, oldClean, data []byte) {
-	m := e.mem(addr)
 	if e.Geo.IsNVM(addr) {
 		e.St.Writebacks++
 		e.Emit(obs.EvWriteback, now, addr, 0)
+		if e.shardOn {
+			// The whole bundle — redundancy update plus data write, none of
+			// it on the issuing core's critical path — runs on a shard
+			// worker; oldClean/data are snapshotted into the ring slot.
+			e.enqueueNVMWriteback(now, addr, oldClean, data)
+			return
+		}
 		if e.Red != nil {
 			e.Red.OnWriteback(now, addr, oldClean, data)
 		}
+		e.NVM.WriteLine(now, addr, nvm.Data, data)
+		return
 	}
-	m.WriteLine(now, addr, nvm.Data, data)
+	if e.shardOn {
+		e.enqueueDRAMWrite(now, addr, data)
+		return
+	}
+	e.DRAM.WriteLine(now, addr, nvm.Data, data)
 }

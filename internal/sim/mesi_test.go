@@ -172,3 +172,173 @@ func TestSharedUpgradeVisitsDirectory(t *testing.T) {
 		},
 	})
 }
+
+// llcConflictStride returns the address stride between distinct lines that
+// map to the same LLC bank and set, for forcing LLC evictions.
+func llcConflictStride(e *Engine) uint64 {
+	cfg := e.Cfg
+	return uint64(cfg.LLCBanks * cfg.LineSize * cfg.LLCBank.Sets(cfg.LineSize))
+}
+
+// TestMultiSharerSnoopSingleRound pins the directory's snoop model: an
+// access hitting an LLC line with N sharers costs one snoop round — the
+// same latency as with a single sharer — while invalidations (on writes)
+// and per-owner L2 probes still scale with N. Regression for a bug where
+// the per-owner loop recomputed (and previously overwrote) the snoop
+// latency per owner.
+func TestMultiSharerSnoopSingleRound(t *testing.T) {
+	measure := func(sharers int, write bool) (lat uint64, e *Engine) {
+		e = mesiEngine(t)
+		addr := e.Geo.NVMBase() + 64*321
+		workers := make([]func(*Core), 4)
+		workers[0] = func(c *Core) {
+			c.Compute(50000) // let every sharer populate its copy first
+			start := c.Clock
+			if write {
+				c.Store64(addr, 1)
+			} else {
+				c.Load64(addr)
+			}
+			lat = c.Clock - start
+		}
+		for i := 1; i <= sharers; i++ {
+			workers[i] = func(c *Core) { c.Load64(addr) }
+		}
+		e.Run(workers)
+		if err := e.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return lat, e
+	}
+	for _, write := range []bool{false, true} {
+		one, _ := measure(1, write)
+		three, e3 := measure(3, write)
+		if one != three {
+			t.Errorf("write=%v: access latency %d with 3 sharers vs %d with 1; one snoop round must bound both", write, three, one)
+		}
+		if write {
+			if e3.St.UpperInvalidations != 3 {
+				t.Errorf("write with 3 sharers recorded %d invalidations, want 3", e3.St.UpperInvalidations)
+			}
+		}
+	}
+}
+
+// TestEvictLLCBackInvalidatesAllSharers forces an LLC eviction of a line
+// two cores hold clean copies of: both upper copies must be
+// back-invalidated, no writeback issued (the line is clean), and refills
+// must still see the original content.
+func TestEvictLLCBackInvalidatesAllSharers(t *testing.T) {
+	e := mesiEngine(t)
+	addr := e.Geo.NVMBase() + 64*5
+	stride := llcConflictStride(e)
+	ways := e.DataWays()
+	e.NVM.WriteRaw(addr, []byte{0xEE, 0x01, 0, 0, 0, 0, 0, 0})
+	e.Run([]func(*Core){
+		nil,
+		func(c *Core) {
+			c.Load64(addr)
+			c.Compute(400000)
+			if got := c.Load64(addr); got != 0x1EE {
+				t.Errorf("core 1 reloaded %#x after back-invalidation, want 0x1ee", got)
+			}
+		},
+		func(c *Core) { c.Load64(addr) },
+		func(c *Core) {
+			c.Compute(50000) // let cores 1 and 2 share the line first
+			for k := uint64(1); k <= uint64(ways)+2; k++ {
+				c.Load64(addr + k*stride) // same set: evicts addr's LLC line
+			}
+		},
+	})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if e.St.UpperInvalidations < 2 {
+		t.Errorf("LLC eviction back-invalidated %d upper copies, want >= 2", e.St.UpperInvalidations)
+	}
+	if e.St.Writebacks != 0 {
+		t.Errorf("clean eviction issued %d writebacks, want 0", e.St.Writebacks)
+	}
+}
+
+// TestEvictLLCMergesDirtiestCopy forces an LLC eviction of a line whose
+// owner holds a newer value in L1 than in L2 (a store leaves the L2 grant
+// copy stale): the eviction must merge the L1 copy — the dirtiest — and
+// write it back to media. A dirty copy can never coexist with OTHER
+// sharers under MESI (stores invalidate them; read-sharing cleans the
+// dirty copy via resolveSharers), so the multi-copy case here is one
+// core's L1+L2 pair.
+func TestEvictLLCMergesDirtiestCopy(t *testing.T) {
+	e := mesiEngine(t)
+	addr := e.Geo.NVMBase() + 64*9
+	stride := llcConflictStride(e)
+	ways := e.DataWays()
+	e.Run([]func(*Core){
+		func(c *Core) {
+			c.Store64(addr, 0xD1127) // L1 Modified; L2 keeps the stale grant copy
+			c.Compute(400000)
+			if got := c.Load64(addr); got != 0xD1127 {
+				t.Errorf("owner reloaded %#x after eviction, want 0xd1127", got)
+			}
+		},
+		func(c *Core) {
+			c.Compute(50000)
+			for k := uint64(1); k <= uint64(ways)+2; k++ {
+				c.Load64(addr + k*stride)
+			}
+		},
+	})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if e.St.Writebacks == 0 {
+		t.Error("dirty LLC eviction issued no writeback")
+	}
+	var b [8]byte
+	e.NVM.ReadRaw(addr, b[:])
+	if got := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16; got != 0xD1127 {
+		t.Errorf("media holds %#x after dirty eviction, want 0xd1127 (L1 copy lost)", got)
+	}
+}
+
+// TestUpgradeInvalidatesAllRemoteSharers pins the S→M upgrade with
+// multiple remote sharers: every remote copy is invalidated, the upgrade
+// latency does not grow with the sharer count, and later reads observe the
+// new value.
+func TestUpgradeInvalidatesAllRemoteSharers(t *testing.T) {
+	measure := func(sharers int) (lat uint64, e *Engine) {
+		e = mesiEngine(t)
+		addr := e.Geo.NVMBase() + 64*44
+		workers := make([]func(*Core), 4)
+		workers[0] = func(c *Core) {
+			c.Load64(addr) // own a Shared copy first
+			c.Compute(50000)
+			start := c.Clock
+			c.Store64(addr, 0xAB) // S→M via directory upgrade
+			lat = c.Clock - start
+		}
+		for i := 1; i <= sharers; i++ {
+			workers[i] = func(c *Core) {
+				c.Load64(addr)
+				c.Compute(200000)
+				if got := c.Load64(addr); got != 0xAB {
+					t.Errorf("sharer read %#x after upgrade, want 0xab", got)
+				}
+			}
+		}
+		e.Run(workers)
+		if err := e.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return lat, e
+	}
+	one, _ := measure(1)
+	two, e2 := measure(2)
+	if one != two {
+		t.Errorf("upgrade latency %d with 2 remote sharers vs %d with 1", two, one)
+	}
+	if e2.St.UpperInvalidations != 2 {
+		t.Errorf("upgrade with 2 remote sharers recorded %d invalidations, want 2", e2.St.UpperInvalidations)
+	}
+}

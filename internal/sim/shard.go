@@ -1,0 +1,432 @@
+package sim
+
+// Sharded weave execution (DESIGN.md §"Parallel weave").
+//
+// The bound-weave engine is logically single-threaded: every
+// latency-bearing decision (cache lookups, victim choice, coherence,
+// fill latency, controller verification) runs on the engine thread in
+// program order, which is what makes runs deterministic. Sharding does not
+// change that. Instead it pipelines the run's *latency-irrelevant* work —
+// LLC→memory writeback bundles (redundancy update + media write), DRAM
+// writebacks, and deferred device-ECC verification of fills — onto Shards
+// dedicated OS threads, each owning a slice of the NVM/DRAM bank and DIMM
+// queues, with all results folded back at the next phase barrier.
+//
+// Determinism argument, in brief:
+//   - Deferred items carry snapshots of their inputs (line content, stored
+//     ECC word) taken on the engine thread at enqueue, so they compute the
+//     same values regardless of when they run.
+//   - Their outputs are commutative integer sums (counters, per-DIMM
+//     occupancy; energy is integral picojoules, so even the float64 energy
+//     sum is exact and order-independent), merged at fixed points (phase
+//     barriers) in fixed order (shard ID, then cycle, then address).
+//   - Anything whose result feeds back into latency or engine-visible
+//     state — controller OnFill/OnDirtyInstall, media reads — runs inline
+//     on the engine thread after quiescing the deferred work it depends
+//     on, so it observes exactly the serial run's state.
+//
+// Redundancy bundles are additionally serialized by a global ticket
+// (redSeq/redRetired): controller state (checksum/parity caches, diffs) is
+// shared across banks, so bundles execute in enqueue order even across
+// shard queues. Ticket waits cannot deadlock: tickets are issued in
+// enqueue order, so the minimum unretired ticket is always at the
+// executable front of some queue (non-ticketed items never wait).
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tvarak/internal/nvm"
+	"tvarak/internal/obs"
+	"tvarak/internal/stats"
+	"tvarak/internal/xsum"
+)
+
+// shardRingCap is each worker queue's slot count. Must be a power of two.
+// 256 slots of two line buffers each keeps a shard's backlog under 32 KB
+// while leaving the engine thread rarely blocked on a full ring.
+const shardRingCap = 256
+
+type shardOpKind uint8
+
+const (
+	// opNVMWriteback is a full writeback bundle: redundancy update (under
+	// a controller, globally ticket-ordered) followed by the data-line
+	// media write.
+	opNVMWriteback shardOpKind = iota
+	// opDRAMWrite is a DRAM data-line media write.
+	opDRAMWrite
+	// opVerify is the deferred device-ECC check of a fill: recompute the
+	// checksum of the snapshot and compare against the stored ECC word.
+	opVerify
+)
+
+// shardItem is one ring slot. The old/data buffers are allocated once per
+// slot and reused; the engine snapshots line content into them at enqueue.
+type shardItem struct {
+	kind   shardOpKind
+	addr   uint64
+	now    uint64
+	seq    uint64 // redundancy ticket; 0 = not ticketed
+	ecc    uint32 // opVerify: stored device-ECC word
+	hasOld bool   // opNVMWriteback: old points at pre-dirty clean content
+	old    []byte
+	data   []byte
+}
+
+// shardWorker is one weave shard: an OS thread draining a single-producer
+// single-consumer ring, accumulating into private stats/timing sinks that
+// the engine folds back at each phase barrier.
+type shardWorker struct {
+	id  int
+	eng *Engine
+
+	ring []shardItem
+	head atomic.Uint64 // items consumed (worker writes, engine reads)
+	tail atomic.Uint64 // items published (engine writes, worker reads)
+	wake chan struct{} // capacity 1; engine nudges a parked worker
+	quit atomic.Bool
+
+	st       stats.Stats
+	nvmAcct  *nvm.Acct
+	dramAcct *nvm.Acct
+	events   []obs.Event
+	emitFn   func(obs.EventKind, uint64, uint64, uint64)
+}
+
+// shardPending records an in-flight deferred write to one line address, so
+// a later media read of that line can wait for exactly it.
+type shardPending struct {
+	w   *shardWorker
+	seq uint64 // ticket when red, the worker's publish count otherwise
+	red bool
+}
+
+// shardRT is the engine's sharding runtime, built lazily on the first
+// sharded Run and reused (rings and accounting sinks are preallocated).
+type shardRT struct {
+	workers    []*shardWorker
+	ctl        ShardableController // nil when Red is nil
+	redSeq     uint64              // last issued redundancy ticket (engine thread)
+	redRetired atomic.Uint64       // last retired redundancy ticket
+	pending    map[uint64]shardPending
+	wg         sync.WaitGroup
+}
+
+// startShards activates deferral for the Run that is starting, provided
+// the configuration and machine state allow it: Shards > 1, no armed
+// firmware bugs, no media observers (both would race with or reorder
+// around deferred work), and a controller that supports execution-context
+// rebinding (or none). Otherwise the Run stays serial.
+func (e *Engine) startShards() {
+	if e.shards < 2 {
+		return
+	}
+	if e.NVM.PendingBugs() > 0 || e.DRAM.PendingBugs() > 0 ||
+		e.NVM.HasObservers() || e.DRAM.HasObservers() {
+		return
+	}
+	var ctl ShardableController
+	if e.Red != nil {
+		var ok bool
+		if ctl, ok = e.Red.(ShardableController); !ok {
+			return
+		}
+	}
+	if e.srt == nil {
+		e.srt = &shardRT{pending: make(map[uint64]shardPending)}
+		e.srt.workers = make([]*shardWorker, e.shards)
+		for i := range e.srt.workers {
+			w := &shardWorker{id: i, eng: e, wake: make(chan struct{}, 1)}
+			w.ring = make([]shardItem, shardRingCap)
+			for j := range w.ring {
+				w.ring[j].old = make([]byte, e.Cfg.LineSize)
+				w.ring[j].data = make([]byte, e.Cfg.LineSize)
+			}
+			w.nvmAcct = e.NVM.NewAcct(&w.st)
+			w.dramAcct = e.DRAM.NewAcct(&w.st)
+			w.emitFn = w.emit
+			e.srt.workers[i] = w
+		}
+	}
+	s := e.srt
+	s.ctl = ctl
+	s.redSeq = 0
+	s.redRetired.Store(0)
+	for _, w := range s.workers {
+		w.head.Store(0)
+		w.tail.Store(0)
+		w.quit.Store(false)
+		s.wg.Add(1)
+		go w.loop()
+	}
+	e.NVM.SetShardHook(e.shardExternalTouch)
+	e.DRAM.SetShardHook(e.shardExternalTouch)
+	e.shardOn = true
+}
+
+// stopShards flushes, merges and parks the shard workers, rebinding the
+// controller to the engine's sinks. No-op when deferral is not active.
+func (e *Engine) stopShards() {
+	if !e.shardOn {
+		return
+	}
+	e.shardBarrier()
+	s := e.srt
+	for _, w := range s.workers {
+		w.quit.Store(true)
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	s.wg.Wait()
+	e.NVM.SetShardHook(nil)
+	e.DRAM.SetShardHook(nil)
+	if s.ctl != nil {
+		s.ctl.SetShardExec(e.St, e.NVM.Direct(), e.emitFn)
+	}
+	e.shardOn = false
+}
+
+// shardExternalTouch is the memory devices' hook: any API that bypasses
+// the timed access path first quiesces deferred work; the mutating or
+// observing ones (bug injection, bit flips, observer installation) also
+// degrade the rest of the Run to serial execution.
+func (e *Engine) shardExternalTouch(degrade bool) {
+	if !e.shardOn {
+		return
+	}
+	if degrade {
+		e.stopShards()
+		return
+	}
+	e.shardFlush()
+}
+
+// shardFlush spins until every worker has drained its ring. Gosched keeps
+// this correct at GOMAXPROCS=1.
+func (e *Engine) shardFlush() {
+	for _, w := range e.srt.workers {
+		for w.head.Load() != w.tail.Load() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// shardBarrier quiesces the workers and folds their private accumulations
+// back into the engine: stats and per-DIMM timing deltas in shard-ID
+// order, buffered controller events per shard sorted by (cycle, address).
+// Runs at every phase boundary and before any inline media access that
+// needs merged state.
+func (e *Engine) shardBarrier() {
+	e.shardFlush()
+	s := e.srt
+	for _, w := range s.workers {
+		*e.St = e.St.Add(w.st)
+		w.st.Reset()
+		e.NVM.Apply(w.nvmAcct)
+		e.DRAM.Apply(w.dramAcct)
+		if len(w.events) > 0 {
+			evs := w.events
+			sort.SliceStable(evs, func(i, j int) bool {
+				if evs[i].Cycle != evs[j].Cycle {
+					return evs[i].Cycle < evs[j].Cycle
+				}
+				return evs[i].Addr < evs[j].Addr
+			})
+			for i := range evs {
+				e.Tracer.Trace(evs[i])
+			}
+			w.events = evs[:0]
+		}
+	}
+	clear(s.pending)
+}
+
+// redInline quiesces all deferred redundancy work and rebinds the
+// controller to the engine's own sinks, so a latency-bearing controller
+// call (OnFill, OnDirtyInstall) or an NVM media read observes exactly the
+// state it would under serial execution.
+func (e *Engine) redInline() {
+	s := e.srt
+	for s.redRetired.Load() != s.redSeq {
+		runtime.Gosched()
+	}
+	if s.ctl != nil {
+		s.ctl.SetShardExec(e.St, e.NVM.Direct(), e.emitFn)
+	}
+}
+
+// waitLineClear blocks until the deferred write in flight to la (if any)
+// has reached media, so an inline read of la sees current content.
+func (e *Engine) waitLineClear(la uint64) {
+	p, ok := e.srt.pending[la]
+	if !ok {
+		return
+	}
+	if p.red {
+		for e.srt.redRetired.Load() < p.seq {
+			runtime.Gosched()
+		}
+	} else {
+		for p.w.head.Load() < p.seq {
+			runtime.Gosched()
+		}
+	}
+	delete(e.srt.pending, la)
+}
+
+// reserve returns the next free ring slot, spinning while the ring is
+// full. Worker progress is guaranteed (see the ticket argument above).
+func (w *shardWorker) reserve() *shardItem {
+	t := w.tail.Load()
+	for t-w.head.Load() >= shardRingCap {
+		runtime.Gosched()
+	}
+	return &w.ring[t&(shardRingCap-1)]
+}
+
+// publish makes the reserved slot visible to the worker and returns the
+// new publish count. The tail store is the release edge covering the
+// slot's content.
+func (w *shardWorker) publish() uint64 {
+	t := w.tail.Load() + 1
+	w.tail.Store(t)
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return t
+}
+
+// enqueueNVMWriteback defers a full NVM writeback bundle. Under a
+// controller the bundle gets a global redundancy ticket and routes to the
+// shard owning the line's LLC bank; without one it routes by DIMM, whose
+// per-shard FIFO alone preserves same-line write order (one line lives on
+// one DIMM).
+func (e *Engine) enqueueNVMWriteback(now, addr uint64, oldClean, data []byte) {
+	s := e.srt
+	var w *shardWorker
+	var seq uint64
+	if s.ctl != nil {
+		s.redSeq++
+		seq = s.redSeq
+		w = s.workers[e.BankIndex(addr)%len(s.workers)]
+	} else {
+		w = s.workers[e.NVM.DimmIndex(addr)%len(s.workers)]
+	}
+	it := w.reserve()
+	it.kind = opNVMWriteback
+	it.now = now
+	it.addr = addr
+	it.seq = seq
+	it.hasOld = oldClean != nil
+	if oldClean != nil {
+		copy(it.old, oldClean)
+	}
+	copy(it.data, data)
+	qseq := w.publish()
+	if seq != 0 {
+		s.pending[addr] = shardPending{seq: seq, red: true}
+	} else {
+		s.pending[addr] = shardPending{w: w, seq: qseq}
+	}
+}
+
+// enqueueDRAMWrite defers a DRAM data-line write, routed by DIMM.
+func (e *Engine) enqueueDRAMWrite(now, addr uint64, data []byte) {
+	s := e.srt
+	w := s.workers[e.DRAM.DimmIndex(addr)%len(s.workers)]
+	it := w.reserve()
+	it.kind = opDRAMWrite
+	it.now = now
+	it.addr = addr
+	it.seq = 0
+	it.hasOld = false
+	copy(it.data, data)
+	qseq := w.publish()
+	s.pending[addr] = shardPending{w: w, seq: qseq}
+}
+
+// enqueueVerify defers a fill's device-ECC check: data and the stored ECC
+// word were snapshotted on the engine thread, so the comparison is
+// timeless pure compute.
+func (e *Engine) enqueueVerify(m *nvm.Memory, addr uint64, ecc uint32, data []byte) {
+	s := e.srt
+	w := s.workers[m.DimmIndex(addr)%len(s.workers)]
+	it := w.reserve()
+	it.kind = opVerify
+	it.addr = addr
+	it.seq = 0
+	it.hasOld = false
+	it.ecc = ecc
+	copy(it.data, data)
+	w.publish()
+}
+
+// loop is the worker body: drain the ring, park on wake when empty, exit
+// when quit is set and the ring is dry. Each worker is pinned to its own
+// OS thread so shards genuinely spread across CPUs.
+func (w *shardWorker) loop() {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	defer w.eng.srt.wg.Done()
+	for {
+		h := w.head.Load()
+		if h == w.tail.Load() {
+			if w.quit.Load() {
+				return
+			}
+			<-w.wake
+			continue
+		}
+		w.exec(&w.ring[h&(shardRingCap-1)])
+		w.head.Store(h + 1)
+	}
+}
+
+// exec runs one deferred item on the worker thread.
+func (w *shardWorker) exec(it *shardItem) {
+	e := w.eng
+	switch it.kind {
+	case opNVMWriteback:
+		if it.seq != 0 {
+			// Wait our global ticket: redundancy bundles execute in
+			// enqueue order across all shards.
+			for e.srt.redRetired.Load() != it.seq-1 {
+				runtime.Gosched()
+			}
+			ctl := e.srt.ctl
+			ctl.SetShardExec(&w.st, e.NVM.Via(w.nvmAcct), w.emitFn)
+			var old []byte
+			if it.hasOld {
+				old = it.old
+			}
+			ctl.OnWriteback(it.now, it.addr, old, it.data)
+			e.NVM.Via(w.nvmAcct).WriteLine(it.now, it.addr, nvm.Data, it.data)
+			e.srt.redRetired.Store(it.seq)
+			return
+		}
+		e.NVM.Via(w.nvmAcct).WriteLine(it.now, it.addr, nvm.Data, it.data)
+	case opDRAMWrite:
+		e.DRAM.Via(w.dramAcct).WriteLine(it.now, it.addr, nvm.Data, it.data)
+	case opVerify:
+		if xsum.Checksum(it.data) != it.ecc {
+			w.st.ECCErrors++
+		}
+	}
+}
+
+// emit buffers one controller event on the worker; the barrier drains the
+// buffer into the tracer in merge order. The event *set* is identical to a
+// serial run's; only inter-shard interleaving in the trace may differ
+// across Shards settings (it is still deterministic for a fixed setting).
+func (w *shardWorker) emit(kind obs.EventKind, cycle, addr, aux uint64) {
+	if w.eng.Tracer == nil {
+		return
+	}
+	w.events = append(w.events, obs.Event{Kind: kind, Cycle: cycle, Addr: addr, Aux: aux})
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tvarak/internal/nvm"
+	"tvarak/internal/obs"
+	"tvarak/internal/param"
+)
+
+// traceSink collects every event for cross-run comparison. The sharded
+// engine only ever calls Trace from the engine thread (worker events are
+// buffered and drained at the phase barrier), so no locking is needed here.
+type traceSink struct{ evs []obs.Event }
+
+func (s *traceSink) Trace(ev obs.Event) { s.evs = append(s.evs, ev) }
+
+// shardWorkload returns a deterministic 4-core mixed workload: per-core
+// private NVM and DRAM regions, random-stride stores and loads with enough
+// footprint (256 KB NVM per core against a 1 MB LLC with tiny L1/L2) to
+// drive steady eviction and writeback traffic through the shard rings.
+func shardWorkload(ops int) []func(*Core) {
+	workers := make([]func(*Core), 4)
+	for i := range workers {
+		id := i
+		workers[i] = func(c *Core) {
+			e := c.Engine()
+			nvmBase := e.Geo.NVMBase() + uint64(id)<<20
+			dramBase := uint64(1)<<16 + uint64(id)<<20
+			rng := rand.New(rand.NewSource(int64(42 + id)))
+			var b [8]byte
+			for n := 0; n < ops; n++ {
+				c.Store64(nvmBase+uint64(rng.Intn(4096))*64, rng.Uint64())
+				c.Load(nvmBase+uint64(rng.Intn(4096))*64, b[:])
+				c.Store64(dramBase+uint64(rng.Intn(1024))*64, rng.Uint64())
+				c.Compute(uint64(rng.Intn(50)))
+			}
+		}
+	}
+	return workers
+}
+
+// runShardWorkload builds a baseline SmallTest machine with the given
+// shard count, runs the canonical workload, and returns the engine and its
+// collected trace.
+func runShardWorkload(t *testing.T, shards, ops int) (*Engine, *traceSink) {
+	t.Helper()
+	cfg := param.SmallTest(param.Baseline)
+	cfg.Shards = shards
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &traceSink{}
+	e.Tracer = sink
+	e.Run(shardWorkload(ops))
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return e, sink
+}
+
+// readMedia snapshots the workload's NVM and DRAM footprints from raw
+// media (legal after Run: the engine has drained and parked its workers).
+func readMedia(e *Engine) []byte {
+	buf := make([]byte, 8<<20)
+	for id := 0; id < 4; id++ {
+		e.NVM.ReadRaw(e.Geo.NVMBase()+uint64(id)<<20, buf[id<<20:id<<20+4096*64])
+		e.DRAM.ReadRaw(uint64(1)<<16+uint64(id)<<20, buf[4<<20+id<<20:4<<20+id<<20+1024*64])
+	}
+	return buf
+}
+
+// TestShardIdentity is the tentpole gate: statistics, DIMM timing, media
+// content and the full event trace must be byte-identical whether the
+// weave phase runs serially or sharded across 2 or 4 OS threads.
+func TestShardIdentity(t *testing.T) {
+	const ops = 3000
+	ref, refSink := runShardWorkload(t, 1, ops)
+	refMedia := readMedia(ref)
+	for _, shards := range []int{2, 4} {
+		e, sink := runShardWorkload(t, shards, ops)
+		if *e.St != *ref.St {
+			t.Errorf("shards=%d: stats diverge from serial run:\nserial:  %+v\nsharded: %+v", shards, *ref.St, *e.St)
+		}
+		if got, want := e.NVM.BusyUntil(), ref.NVM.BusyUntil(); got != want {
+			t.Errorf("shards=%d: NVM BusyUntil %d, serial %d", shards, got, want)
+		}
+		if got, want := e.DRAM.BusyUntil(), ref.DRAM.BusyUntil(); got != want {
+			t.Errorf("shards=%d: DRAM BusyUntil %d, serial %d", shards, got, want)
+		}
+		if !bytes.Equal(readMedia(e), refMedia) {
+			t.Errorf("shards=%d: media content diverges from serial run", shards)
+		}
+		// Baseline runs emit only engine-origin events, all inline on the
+		// engine thread in program order, so even the interleaving matches.
+		if len(sink.evs) != len(refSink.evs) {
+			t.Fatalf("shards=%d: %d events, serial %d", shards, len(sink.evs), len(refSink.evs))
+		}
+		for i := range sink.evs {
+			if sink.evs[i] != refSink.evs[i] {
+				t.Fatalf("shards=%d: event %d diverges: %+v vs serial %+v", shards, i, sink.evs[i], refSink.evs[i])
+			}
+		}
+	}
+}
+
+// TestShardClampsToConfig checks the knob's edges: Shards=0 and Shards=1
+// stay fully serial (shard runtime never constructed).
+func TestShardClampsToConfig(t *testing.T) {
+	for _, shards := range []int{0, 1} {
+		cfg := param.SmallTest(param.Baseline)
+		cfg.Shards = shards
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(shardWorkload(50))
+		if e.srt != nil || e.shardOn {
+			t.Errorf("Shards=%d built a shard runtime (srt=%v shardOn=%v)", shards, e.srt != nil, e.shardOn)
+		}
+	}
+}
+
+// TestShardRawReadSeesPendingWrites covers the flush hook: a raw media
+// read issued mid-run (as oracles and setup code do) must first quiesce
+// the shard rings so deferred writebacks become visible.
+func TestShardRawReadSeesPendingWrites(t *testing.T) {
+	cfg := param.SmallTest(param.Baseline)
+	cfg.Shards = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := e.Geo.NVMBase() + 64*7
+	e.Run([]func(*Core){func(c *Core) {
+		c.Store64(target, 0xfeedface)
+		// Sweep 2 MB of distinct lines: twice the LLC's capacity, so the
+		// target line's writeback is forced through the shard rings.
+		sweep := e.Geo.NVMBase() + 4<<20
+		for i := uint64(0); i < (2<<20)/64; i++ {
+			c.Store64(sweep+i*64, i)
+		}
+		var b [8]byte
+		e.NVM.ReadRaw(target, b[:])
+		if got := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24; got != 0xfeedface {
+			t.Errorf("raw read mid-run saw %#x, want 0xfeedface", got)
+		}
+	}})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardDegradeOnInjection checks the safety valve: touching the
+// fault-injection surface mid-run drops the engine back to fully serial
+// execution for the rest of the run, with results identical to an
+// all-serial run of the same workload.
+func TestShardDegradeOnInjection(t *testing.T) {
+	run := func(shards int) *Engine {
+		cfg := param.SmallTest(param.Baseline)
+		cfg.Shards = shards
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := e.Geo.NVMBase()
+		e.Run([]func(*Core){func(c *Core) {
+			for i := uint64(0); i < 2000; i++ {
+				c.Store64(base+(i%512)*64, i)
+			}
+			// CancelBugs is a no-op here (nothing armed) but touches the
+			// injection surface, so a sharded engine must degrade.
+			e.NVM.CancelBugs(base)
+			if e.shardOn {
+				t.Error("engine still sharded after fault-injection touch")
+			}
+			for i := uint64(0); i < 2000; i++ {
+				c.Store64(base+(i%512)*64, ^i)
+			}
+		}})
+		if err := e.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	serial, sharded := run(1), run(4)
+	if *serial.St != *sharded.St {
+		t.Errorf("degraded run diverges from serial:\nserial:   %+v\ndegraded: %+v", *serial.St, *sharded.St)
+	}
+}
+
+// TestShardObserversStaySerial checks that a machine with media observers
+// installed (the shadow oracle) never activates sharding: observers must
+// fire on the engine thread in program order.
+func TestShardObserversStaySerial(t *testing.T) {
+	cfg := param.SmallTest(param.Baseline)
+	cfg.Shards = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.NVM.SetWriteObserver(func(addr uint64, data []byte, timed bool, class nvm.Class) {})
+	base := e.Geo.NVMBase()
+	e.Run([]func(*Core){func(c *Core) {
+		if e.shardOn {
+			t.Error("engine sharded despite a live write observer")
+		}
+		for i := uint64(0); i < 1000; i++ {
+			c.Store64(base+(i%512)*64, i)
+		}
+	}})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardConfigValidation pins the Shards knob's validation range.
+func TestShardConfigValidation(t *testing.T) {
+	cfg := param.SmallTest(param.Baseline)
+	cfg.Shards = 65
+	if _, err := New(cfg); err == nil {
+		t.Error("Shards=65 accepted, want validation error")
+	}
+	cfg.Shards = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("Shards=-1 accepted, want validation error")
+	}
+}

@@ -62,6 +62,10 @@ func AttachVilamb(fs *daxfs.FS, h *pmem.Heap, epochCyc uint64) (*Vilamb, error) 
 func (v *Vilamb) OnCommit(c *sim.Core, h *pmem.Heap, ranges []pmem.Range) {
 	ps := uint64(v.fs.Geometry().PageSize)
 	for _, r := range ranges {
+		if r.Len == 0 {
+			// Off+Len-1 underflows at Off==0 and would mark ~2^64 pages.
+			continue
+		}
 		for p := r.Off / ps; p <= (r.Off+r.Len-1)/ps; p++ {
 			v.dirty[p] = true
 		}
@@ -71,6 +75,9 @@ func (v *Vilamb) OnCommit(c *sim.Core, h *pmem.Heap, ranges []pmem.Range) {
 // MarkDirty records a raw (non-transactional) write, for mappings driven
 // without a heap.
 func (v *Vilamb) MarkDirty(off, n uint64) {
+	if n == 0 {
+		return
+	}
 	ps := uint64(v.fs.Geometry().PageSize)
 	for p := off / ps; p <= (off+n-1)/ps; p++ {
 		v.dirty[p] = true
@@ -85,8 +92,10 @@ func (v *Vilamb) Daemon(stop *bool) func(*sim.Core) {
 	return func(c *sim.Core) {
 		const slice = 10000 // interruptible sleep
 		for !*stop {
-			for slept := uint64(0); !*stop && slept < v.EpochCyc; slept += slice {
-				c.Compute(slice)
+			for slept := uint64(0); !*stop && slept < v.EpochCyc; {
+				step := min(slice, v.EpochCyc-slept)
+				c.Compute(step)
+				slept += step
 			}
 			v.ProcessEpoch(c)
 		}

@@ -176,3 +176,55 @@ func TestVilambCheaperThanTxBPage(t *testing.T) {
 		t.Errorf("Vilamb (%d) cheaper than baseline (%d)?", vil, base)
 	}
 }
+
+func TestVilambEmptyCommitRangeMarksNothing(t *testing.T) {
+	// Regression: a zero-length Range at Off==0 made (Off+Len-1)/pageSize
+	// underflow, marking ~2^64 pages dirty; the next epoch then tried to
+	// reconcile the entire address space. Empty ranges must be ignored.
+	_, v, h := vilambFixture(t)
+	v.OnCommit(nil, h, []pmem.Range{{Off: 0, Len: 0}})
+	if got := v.DirtyPages(); got != 0 {
+		t.Errorf("empty commit range marked %d pages dirty, want 0", got)
+	}
+	v.MarkDirty(0, 0)
+	if got := v.DirtyPages(); got != 0 {
+		t.Errorf("MarkDirty(0,0) marked %d pages dirty, want 0", got)
+	}
+	// A real range mixed with empty ones still lands.
+	v.OnCommit(nil, h, []pmem.Range{{Off: 0, Len: 0}, {Off: 4096, Len: 10}, {Off: 64, Len: 0}})
+	if got := v.DirtyPages(); got != 1 {
+		t.Errorf("mixed ranges marked %d pages dirty, want 1", got)
+	}
+}
+
+func TestVilambDaemonHonorsOddEpochLength(t *testing.T) {
+	// Regression: the daemon slept in fixed 10k-cycle slices and
+	// overshot epochs that are not slice multiples (EpochCyc=10001 slept
+	// 20000 cycles), halving the reconciliation frequency. The sleep must
+	// clamp its last slice to the epoch remainder.
+	sys, v, _ := vilambFixture(t)
+	v.EpochCyc = 10001
+	stop := false
+	const work = 400000
+	workers := []func(*sim.Core){
+		func(c *sim.Core) {
+			// Advance in sub-phase steps so the daemon's clock keeps pace
+			// under phase scheduling (one big Compute would end the run
+			// before the daemon ever wakes).
+			for n := 0; n < work/1000; n++ {
+				c.Compute(1000)
+			}
+			stop = true
+		},
+		v.Daemon(&stop),
+	}
+	sys.Eng.Run(workers)
+	if err := sys.Eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// With the clamped sleep the daemon completes ~work/10001 ≈ 39
+	// epochs; the unclamped bug yields ~work/20000 ≈ 20.
+	if v.Epochs < 35 || v.Epochs > 45 {
+		t.Errorf("daemon ran %d epochs over %d cycles with EpochCyc=10001, want ≈39", v.Epochs, work)
+	}
+}

@@ -1,11 +1,11 @@
 // benchdiff runs the repo's hot-path benchmark suite with fixed iteration
-// counts and gates the results against a committed baseline (BENCH_5.json).
+// counts and gates the results against a committed baseline (BENCH_6.json).
 //
 // Usage:
 //
-//	go run ./tools/benchdiff -out BENCH_5.json                 # (re)record baseline
-//	go run ./tools/benchdiff -out new.json -baseline BENCH_5.json  # run + gate
-//	go run ./tools/benchdiff -compare BENCH_5.json,new.json    # gate two files
+//	go run ./tools/benchdiff -out BENCH_6.json                 # (re)record baseline
+//	go run ./tools/benchdiff -out new.json -baseline BENCH_6.json  # run + gate
+//	go run ./tools/benchdiff -compare BENCH_6.json,new.json    # gate two files
 //
 // What is gated, and how strictly, follows from what is actually portable
 // across machines and runs:
