@@ -42,10 +42,12 @@ echo "== go test -race (parallel harness gate) =="
 # -timeout 20m: the race detector slows the simulator ~10x and CI boxes are
 # small; the long golden-table experiments additionally skip under -race
 # (see race_test.go).
+# live: the ops metrics registry and run board are scraped over HTTP
+# concurrently with probe and lifecycle writes from simulating cells.
 go test -race -timeout 20m ./internal/harness/ ./internal/experiments/ \
     ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/obs/ \
     ./internal/cache/ ./internal/nvm/ ./internal/xsum/ ./internal/geom/ \
-    ./internal/pmem/ .
+    ./internal/pmem/ ./internal/live/ .
 
 echo "== coverage floor (internal/core + internal/sim) =="
 # Combined statement coverage of the two central packages, exercised by the
@@ -108,6 +110,38 @@ sh=(-exp fig8-stream -scale 0.05 -designs baseline,tvarak -parallel 1)
 "$tmp/tvarak-sim" "${sh[@]}" -shards 4 -metrics-out "$tmp/shard4.json" >/dev/null
 cmp "$tmp/shard1.json" "$tmp/shard2.json"
 cmp "$tmp/shard1.json" "$tmp/shard4.json"
+
+echo "== live ops gate =="
+# A run with the ops server + resource sampler attached must serve
+# well-formed /metrics (Prometheus text exposition), /healthz and /runs
+# mid-run, shut down leak-free (opscheck's goroutine gate on the ledger's
+# first-vs-last sample), and leave the metrics export byte-identical to a
+# detached run — the read-only contract of DESIGN.md §10.
+go build -o "$tmp/opscheck" ./tools/opscheck
+og=(-exp fig8-stream -scale 0.05 -designs baseline,tvarak -parallel 2)
+"$tmp/tvarak-sim" "${og[@]}" -metrics-out "$tmp/ops-plain.json" >/dev/null
+"$tmp/tvarak-sim" "${og[@]}" -metrics-out "$tmp/ops-live.json" \
+    -ops-addr 127.0.0.1:0 -ops-addr-file "$tmp/ops.addr" \
+    -ops-ledger "$tmp/ops-ledger.jsonl" -ops-sample 100ms >/dev/null 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    if [ -s "$tmp/ops.addr" ]; then addr=$(cat "$tmp/ops.addr"); break; fi
+    sleep 0.05
+done
+if [ -z "$addr" ]; then
+    echo "ops gate: listen address never appeared in $tmp/ops.addr" >&2
+    exit 1
+fi
+curl -fsS "http://$addr/healthz" | grep -qx "ok"
+curl -fsS "http://$addr/metrics" >"$tmp/ops-metrics.txt"
+grep -q '^# TYPE tvarak_cells_started_total counter$' "$tmp/ops-metrics.txt"
+grep -q '^tvarak_sim_accesses_total [0-9]' "$tmp/ops-metrics.txt"
+grep -q '^tvarak_cell_seconds_bucket{le="+Inf"} [0-9]' "$tmp/ops-metrics.txt"
+curl -fsS "http://$addr/runs" | grep -q '"cells"'
+wait "$pid"
+cmp "$tmp/ops-plain.json" "$tmp/ops-live.json"
+"$tmp/opscheck" -ledger "$tmp/ops-ledger.jsonl" -checks goroutines >/dev/null
 
 echo "== bench-regression gate =="
 # Hot-path benchmark suite at fixed iteration counts, gated against the

@@ -26,7 +26,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
+	"time"
 
 	"tvarak"
 )
@@ -41,12 +44,65 @@ func main() {
 	shrink := flag.Bool("shrink", true, "minimize the injection schedule of any failing unit")
 	journalPath := flag.String("journal", "", "checkpoint each finished campaign unit durably to this JSONL journal; resume an interrupted campaign with -resume")
 	resume := flag.Bool("resume", false, "reopen -journal and restore already-finished units instead of re-simulating them (the report is byte-identical to an uninterrupted run)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the run to this path")
+	opsAddr := flag.String("ops-addr", "", "serve live ops HTTP on this address (/metrics, /healthz, /runs, /debug/pprof); use :0 for a free port")
+	opsAddrFile := flag.String("ops-addr-file", "", "write the resolved ops listen address to this file (for scripts using -ops-addr :0)")
+	opsLedger := flag.String("ops-ledger", "", "append periodic resource samples as JSONL to this path; analyze with tools/opscheck")
+	opsSample := flag.Duration("ops-sample", time.Second, "resource sample interval for -ops-ledger")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	var lt *tvarak.LiveTelemetry
+	var ops *tvarak.LiveOps
+	if *opsAddr != "" || *opsLedger != "" {
+		lt = tvarak.NewLiveTelemetry()
+		var err error
+		ops, err = tvarak.StartLiveOps(lt, tvarak.OpsConfig{
+			Addr: *opsAddr, AddrFile: *opsAddrFile,
+			LedgerPath: *opsLedger, SampleEvery: *opsSample,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if a := ops.Addr(); a != "" {
+			fmt.Fprintf(os.Stderr, "tvarak-fault: ops listening on http://%s\n", a)
+		}
+	}
+
 	var err error
 	if *campaign {
-		err = runCampaign(*seed, *n, *workers, *shrink, *report, *journalPath, *resume)
+		err = runCampaign(*seed, *n, *workers, *shrink, *report, *journalPath, *resume, lt)
 	} else {
 		err = run(*traceOut)
+	}
+
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		runtime.GC()
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			fatal(perr)
+		}
+		f.Close()
+	}
+	if cerr := ops.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "tvarak-fault: closing ops:", cerr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tvarak-fault:", err)
@@ -57,7 +113,12 @@ func main() {
 	}
 }
 
-func runCampaign(seed int64, n, workers int, shrink bool, report, journalPath string, resume bool) error {
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tvarak-fault:", err)
+	os.Exit(1)
+}
+
+func runCampaign(seed int64, n, workers int, shrink bool, report, journalPath string, resume bool, lt *tvarak.LiveTelemetry) error {
 	// SIGINT/SIGTERM cancel the campaign cooperatively: finished units are
 	// kept (and journaled when -journal is set), the partial report is
 	// still written, and Run returns an interruption error.
@@ -88,7 +149,7 @@ func runCampaign(seed int64, n, workers int, shrink bool, report, journalPath st
 	fmt.Printf("fault campaign: seed=%d injections=%d apps=%v\n", seed, n, tvarak.FaultCampaignApps())
 	rep, runErr := tvarak.RunFaultCampaign(tvarak.FaultCampaignOptions{
 		Seed: seed, N: n, Workers: workers, Shrink: shrink,
-		Context: ctx, Journal: journal,
+		Context: ctx, Journal: journal, Live: lt,
 		Progress: func(done, total int, u *tvarak.FaultUnitReport) {
 			status := "ok"
 			if u.Failure != "" {

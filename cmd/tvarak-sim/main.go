@@ -13,6 +13,7 @@
 //	tvarak-sim -exp all -keep-going -cell-timeout 10m -retries 1
 //	tvarak-sim -exp fig8-stream -metrics-out run.json -sample-every 100000
 //	tvarak-sim -exp fig8-stream -trace trace.jsonl -parallel 1
+//	tvarak-sim -exp all -ops-addr :8080 -ops-ledger ops.jsonl   # curl /metrics /runs /debug/pprof
 //	tvarak-sim -compare old.json,new.json -tolerance 0.01
 //	tvarak-sim -validate run.json
 //	tvarak-sim -exp table1
@@ -47,6 +48,7 @@ import (
 
 	"tvarak"
 	"tvarak/internal/experiments"
+	"tvarak/internal/live"
 	"tvarak/internal/obs"
 	"tvarak/internal/param"
 )
@@ -71,6 +73,11 @@ func main() {
 		compare     = flag.String("compare", "", "compare two metric exports, given as old.json,new.json; exits 1 on any delta beyond -tolerance")
 		tolerance   = flag.Float64("tolerance", 0, "relative per-metric tolerance for -compare (0 = exact)")
 		validate    = flag.String("validate", "", "read a metrics export, validate its schema version, and print a summary")
+
+		opsAddr     = flag.String("ops-addr", "", "serve live ops HTTP on this address (/metrics, /healthz, /runs, /debug/pprof); use :0 for a free port")
+		opsAddrFile = flag.String("ops-addr-file", "", "write the resolved ops listen address to this file (for scripts using -ops-addr :0)")
+		opsLedger   = flag.String("ops-ledger", "", "append periodic resource samples (heap, goroutines, RSS, throughput) as JSONL to this path; analyze with tools/opscheck")
+		opsSample   = flag.Duration("ops-sample", time.Second, "resource sample interval for -ops-ledger")
 
 		journalPath = flag.String("journal", "", "checkpoint each completed cell durably to this JSONL journal; an interrupted run resumes from it with -resume")
 		resume      = flag.Bool("resume", false, "reopen -journal and restore already-checkpointed cells instead of re-simulating them (output is byte-identical to an uninterrupted run)")
@@ -129,6 +136,30 @@ func main() {
 		Parallel: *parallel, Shards: *shards, SampleEvery: *sampleEvery,
 		Context: ctx, CellTimeout: *cellTimeout, Retries: *retries, Degrade: *keepGoing,
 	}
+
+	// Live telemetry backs both the -ops-addr endpoint and -progress: the
+	// interactive renderer and /runs read the same board, so they can never
+	// disagree. It is wall-clock-domain and read-only — attaching it leaves
+	// tables and -metrics-out exports byte-identical (DESIGN.md §10).
+	var lt *tvarak.LiveTelemetry
+	if *opsAddr != "" || *opsLedger != "" || *progress {
+		lt = tvarak.NewLiveTelemetry()
+		opts.Live = lt
+	}
+	var ops *tvarak.LiveOps
+	if *opsAddr != "" || *opsLedger != "" {
+		var err error
+		ops, err = tvarak.StartLiveOps(lt, tvarak.OpsConfig{
+			Addr: *opsAddr, AddrFile: *opsAddrFile,
+			LedgerPath: *opsLedger, SampleEvery: *opsSample,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if a := ops.Addr(); a != "" {
+			fmt.Fprintf(os.Stderr, "tvarak-sim: ops listening on http://%s\n", a)
+		}
+	}
 	var journal *tvarak.RunJournal
 	if *resume && *journalPath == "" {
 		fmt.Fprintln(os.Stderr, "tvarak-sim: -resume requires -journal")
@@ -164,18 +195,28 @@ func main() {
 		defer f.Close()
 		tracer = obs.NewJSONL(f, 0)
 		opts.Tracer = tracer
+		if lt != nil {
+			lt.TraceGauges(tracer.Written, tracer.Dropped)
+		}
 	}
 	if *progress {
-		opts.Progress = func(done, total int, r *tvarak.Result, elapsed time.Duration) {
-			if r.Failed() {
-				fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-20s %-28s FAILED: %s\n",
-					done, total, r.Workload, r.Label(), r.Failure)
-				return
+		// The renderer subscribes to the run board — the same state /runs
+		// serves — instead of a separate results callback, so interactive
+		// output and the ops endpoint report from one source of truth.
+		lt.Board.Notify = func(e live.CellEntry, done, total int) {
+			switch {
+			case e.State == live.StateFailed:
+				fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-28s FAILED: %s\n",
+					done, total, e.Label, e.Err)
+			case e.FromJournal:
+				fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-28s restored  cyc=%d acc=%d\n",
+					done, total, e.Label, e.Cycles, e.Accesses)
+			default:
+				el := time.Duration(e.ElapsedMS) * time.Millisecond
+				fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-28s %8v  cyc=%d acc=%d thr=%.0f/s\n",
+					done, total, e.Label, el.Round(time.Millisecond),
+					e.Cycles, e.Accesses, e.AccessesPerSec)
 			}
-			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %-20s %-28s %8v  cyc=%d nvm=%d+%d $=%d corr=%d\n",
-				done, total, r.Workload, r.Label(), elapsed.Round(time.Millisecond),
-				r.Stats.Cycles, r.Stats.NVM.Data(), r.Stats.NVM.Redundancy(),
-				r.Stats.CacheTotal(), r.Stats.CorruptionsDetected)
 		}
 	}
 
@@ -265,6 +306,12 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+	// Shut the ops bundle down before deciding the exit code: the final
+	// resource sample lands in the ledger and the HTTP goroutines exit
+	// (leak-free teardown is asserted by ci.sh's ops gate).
+	if err := ops.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tvarak-sim: closing ops:", err)
 	}
 	if cancelled {
 		if journal != nil {

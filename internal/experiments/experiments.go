@@ -21,6 +21,7 @@ import (
 	"tvarak/internal/apps/redispm"
 	"tvarak/internal/apps/stream"
 	"tvarak/internal/harness"
+	"tvarak/internal/live"
 	"tvarak/internal/obs"
 	"tvarak/internal/param"
 )
@@ -78,6 +79,11 @@ type Options struct {
 	// renders them as explicit FAILED holes and the Manifest carries the
 	// details, instead of the run aborting.
 	Degrade bool
+	// Live, when non-nil, streams per-cell lifecycle and phase-boundary
+	// progress into the wall-clock telemetry bundle served at -ops-addr
+	// (/metrics and /runs). Strictly read-only: attaching it changes no
+	// result.
+	Live *live.Telemetry
 }
 
 func (o Options) designs() []param.Design {
@@ -143,6 +149,7 @@ func (o Options) run(id, title string, cells []harness.Cell) (*harness.Table, er
 		CellTimeout: o.CellTimeout,
 		Retries:     o.Retries,
 		Degrade:     o.Degrade,
+		Live:        o.Live,
 	}
 	return rn.RunTable(title, cells)
 }

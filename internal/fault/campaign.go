@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"tvarak/internal/harness"
+	"tvarak/internal/live"
 	"tvarak/internal/param"
 )
 
@@ -41,6 +42,11 @@ type Options struct {
 	// re-simulating them. Units are deterministic, so a resumed report is
 	// byte-identical to an uninterrupted one.
 	Journal *harness.Journal
+	// Live, when non-nil, streams unit lifecycle onto the /runs board and
+	// folds each finished unit's armed/detected/recovered totals into the
+	// tvarak_fault_* counters. Strictly read-only: reports are
+	// byte-identical with or without it.
+	Live *live.Telemetry
 }
 
 // Report is the complete campaign outcome.
@@ -125,18 +131,32 @@ func Run(opt Options) (*Report, error) {
 		return fmt.Sprintf("fault-unit|seed=%d|n=%d|%s|%s",
 			opt.Seed, opt.N, units[i].app.name, units[i].design)
 	}
+	unitLabel := func(i int) string {
+		return units[i].app.name + "/" + units[i].design.String()
+	}
+	if opt.Live != nil {
+		opt.Live.Board.Begin("fault-campaign", len(units))
+	}
 	_ = harness.Runner{Workers: opt.Workers, Context: opt.Context}.ForEach(len(units), func(i int) error {
 		var u *UnitReport
 		if opt.Journal != nil {
 			var ju UnitReport
 			if opt.Journal.Lookup("unit", unitFp(i), &ju) {
 				u = &ju
+				if opt.Live != nil {
+					opt.Live.Runner.Restored.AddAt(i, 1)
+					opt.Live.Board.CellRestored(i, unitLabel(i), 0, 0)
+				}
 				mu.Lock()
 				resumed++
 				mu.Unlock()
 			}
 		}
 		if u == nil {
+			if opt.Live != nil {
+				opt.Live.Runner.Started.AddAt(i, 1)
+				opt.Live.Board.CellRunning(i, unitLabel(i))
+			}
 			u = runUnit(opt.Context, units[i].app, units[i].design, units[i].plan)
 			if u == nil {
 				// Interrupted mid-unit: the slot stays empty (counted as
@@ -147,6 +167,21 @@ func Run(opt Options) (*Report, error) {
 			if opt.Journal != nil {
 				if err := opt.Journal.Record("unit", unitFp(i), u); err != nil {
 					return fmt.Errorf("fault: journaling unit %s: %w", u.Label(), err)
+				}
+			}
+			if opt.Live != nil {
+				// Executed units (not restored ones) fold their injection
+				// outcomes into the process-wide fault counters: /metrics
+				// reports the work this process actually performed.
+				opt.Live.Fault.Armed.AddAt(i, uint64(u.Armed))
+				opt.Live.Fault.Detected.AddAt(i, u.Detections)
+				opt.Live.Fault.Recovered.AddAt(i, u.Recoveries)
+				if u.Failure != "" {
+					opt.Live.Runner.Failed.AddAt(i, 1)
+					opt.Live.Board.CellFailed(i, unitLabel(i), u.Failure, false)
+				} else {
+					opt.Live.Runner.Finished.AddAt(i, 1)
+					opt.Live.Board.CellDone(i, 0, 0)
 				}
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tvarak/internal/live"
 	"tvarak/internal/obs"
 	"tvarak/internal/param"
 )
@@ -44,6 +45,12 @@ type Cell struct {
 	// Trace calls (obs.JSONL is); each cell's events are stamped with its
 	// workload/design/variant label.
 	Tracer obs.Tracer
+
+	// live and index are set by the Runner when live telemetry is
+	// attached: the cell reports its lifecycle to live.Board slot index
+	// and streams phase-boundary progress through a live.CellProbe.
+	live  *live.Telemetry
+	index int
 }
 
 // run executes the cell on a fresh system and applies its labelling. The
@@ -58,6 +65,10 @@ func (c Cell) run(ctx context.Context) (*Result, error) {
 		}
 		ob.Tracer = obs.WithSource(c.Tracer, src)
 	}
+	if c.live != nil {
+		c.live.Board.CellRunning(c.index, c.labelFor(w))
+		ob.Probe = c.live.CellProbe(c.index)
+	}
 	r, err := RunObservedCtx(ctx, c.Config, w, ob)
 	if err != nil {
 		return nil, err
@@ -67,6 +78,20 @@ func (c Cell) run(ctx context.Context) (*Result, error) {
 		r.Workload = c.Rename(r.Workload)
 	}
 	return r, nil
+}
+
+// labelFor renders the cell's display label from an already-built workload
+// (safeLabel re-invokes the factory, which stateful factories notice).
+func (c Cell) labelFor(w Workload) string {
+	name := w.Name()
+	if c.Rename != nil {
+		name = c.Rename(name)
+	}
+	l := name + "/" + c.Config.Design.String()
+	if c.Variant != "" {
+		l += "[" + c.Variant + "]"
+	}
+	return l
 }
 
 // Progress is the per-cell completion callback: done cells so far, total
@@ -208,6 +233,11 @@ type Runner struct {
 	// field is set (tables render it as an explicit hole) plus a
 	// Manifest entry, and every sibling cell still runs.
 	Degrade bool
+	// Live, when non-nil, streams cell lifecycle transitions and
+	// phase-boundary progress into the wall-clock telemetry bundle (the
+	// /metrics counters and the /runs board). It is strictly read-only
+	// with respect to results: attaching it changes no cell's output.
+	Live *live.Telemetry
 }
 
 func (rn Runner) workers(n int) int {
@@ -321,6 +351,13 @@ func (rn Runner) RunManifest(cells []Cell) ([]*Result, *Manifest, error) {
 		return nil, man, nil
 	}
 	results := make([]*Result, n)
+	if rn.Live != nil {
+		scope := rn.Scope
+		if scope == "" {
+			scope = "run"
+		}
+		rn.Live.Board.Begin(scope, n)
+	}
 	var (
 		mu   sync.Mutex // serializes Progress, the done counter and manifest appends
 		done int
@@ -328,6 +365,9 @@ func (rn Runner) RunManifest(cells []Cell) ([]*Result, *Manifest, error) {
 	err, skipped := rn.forEach(n, func(i int) error {
 		start := time.Now()
 		out := rn.runCell(i, cells[i])
+		if rn.Live != nil && !out.fromJournal && !out.cancelled {
+			rn.Live.Runner.CellSeconds.Observe(time.Since(start).Seconds())
+		}
 		mu.Lock()
 		switch {
 		case out.fail != nil:
@@ -405,13 +445,21 @@ func (rn Runner) RunTable(title string, cells []Cell) (*Table, error) {
 // runCell drives one cell to its final outcome: journal restore, the
 // attempt/retry loop with watchdog containment, and checkpointing.
 func (rn Runner) runCell(i int, c Cell) cellOutcome {
+	c.live, c.index = rn.Live, i
 	var fp string
 	if rn.Journal != nil {
 		fp = safeFingerprint(c, rn.Scope, i)
 		var r Result
 		if rn.Journal.Lookup("cell", fp, &r) {
+			if rn.Live != nil {
+				rn.Live.Runner.Restored.AddAt(i, 1)
+				rn.Live.Board.CellRestored(i, safeLabel(c, i), r.Stats.Cycles, r.Stats.Loads+r.Stats.Stores)
+			}
 			return cellOutcome{r: &r, fromJournal: true}
 		}
+	}
+	if rn.Live != nil {
+		rn.Live.Runner.Started.AddAt(i, 1)
 	}
 	attempts := rn.Retries + 1
 	for a := 1; ; a++ {
@@ -431,6 +479,10 @@ func (rn Runner) runCell(i int, c Cell) cellOutcome {
 						Kind: obs.EvCheckpoint, Cycle: ar.r.Stats.Cycles, Aux: uint64(i),
 					})
 				}
+				if rn.Live != nil {
+					rn.Live.Runner.Finished.AddAt(i, 1)
+					rn.Live.Board.CellDone(i, ar.r.Stats.Cycles, ar.r.Stats.Loads+ar.r.Stats.Stores)
+				}
 				return cellOutcome{r: ar.r}
 			}
 		}
@@ -444,6 +496,13 @@ func (rn Runner) runCell(i int, c Cell) cellOutcome {
 				Index: i, Label: safeLabel(c, i), Err: ar.err.Error(),
 				Stack: ar.stack, Hung: ar.hung, Attempts: a,
 			}
+			if rn.Live != nil {
+				rn.Live.Runner.Failed.AddAt(i, 1)
+				if ar.hung {
+					rn.Live.Runner.Watchdog.AddAt(i, 1)
+				}
+				rn.Live.Board.CellFailed(i, fail.Label, fail.Err, ar.hung)
+			}
 			if rn.Journal != nil {
 				if ar.hung {
 					stacks := ar.stack
@@ -455,6 +514,10 @@ func (rn Runner) runCell(i int, c Cell) cellOutcome {
 				_ = rn.Journal.Record("fail", fp, fail)
 			}
 			return cellOutcome{fail: fail}
+		}
+		if rn.Live != nil {
+			rn.Live.Runner.Retried.AddAt(i, 1)
+			rn.Live.Board.CellRetrying(i)
 		}
 		if !rn.backoff(a) {
 			return cellOutcome{cancelled: true}

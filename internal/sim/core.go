@@ -185,7 +185,17 @@ func (e *Engine) Run(workers []func(*Core)) {
 		if !alive {
 			break
 		}
+		var shardQueued uint64
 		if e.shardOn {
+			if e.Probe != nil {
+				// Ring depth is only meaningful before the barrier drains
+				// everything; reading head/tail here races with nothing —
+				// the engine thread is the sole publisher and the workers
+				// only advance head.
+				for _, w := range e.srt.workers {
+					shardQueued += w.tail.Load() - w.head.Load()
+				}
+			}
 			// Quiesce the shard workers and fold their stats, DIMM timing
 			// and buffered events back in, so the sampler and tracer below
 			// observe exactly the serial run's phase snapshot.
@@ -193,6 +203,9 @@ func (e *Engine) Run(workers []func(*Core)) {
 		}
 		if e.Sampler != nil {
 			e.Sampler.Observe(e.maxClock(), e.St)
+		}
+		if e.Probe != nil {
+			e.Probe(e.maxClock(), e.St.Loads+e.St.Stores, shardQueued)
 		}
 		// Every core is quiesced at the barrier here: no store is in
 		// flight, so observers (the shadow oracle) can cross-check

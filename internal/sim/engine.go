@@ -87,6 +87,13 @@ type Engine struct {
 	// Sampler, when non-nil, snapshots statistics deltas at phase
 	// boundaries into a per-run time series. Attach via AttachSampler.
 	Sampler *obs.Sampler
+	// Probe, when non-nil, is invoked at every bound-weave phase boundary
+	// with the engine's cumulative clock, completed accesses, and the
+	// deferred items still queued in shard rings just before the barrier.
+	// It is wall-clock-domain live telemetry (internal/live): strictly
+	// read-only, never consulted by the simulation, and the nil default
+	// costs one branch per phase — nothing per access.
+	Probe func(cycles, accesses, shardQueued uint64)
 
 	dataWays int
 	lineBuf  []byte

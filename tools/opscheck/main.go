@@ -1,0 +1,128 @@
+// Command opscheck analyzes an ops resource ledger (the JSONL file a
+// tvarak-sim/tvarak-fault run appends with -ops-ledger) and flags
+// long-horizon resource anomalies: monotonic heap growth, goroutine leaks,
+// and throughput drift beyond a threshold. It exits 1 when any enabled
+// check flags — these are the gates the soak mode reuses (ROADMAP
+// "Continuous soak + chaos mode": flat RSS, zero leaked goroutines,
+// steady throughput over 24h).
+//
+// Usage:
+//
+//	opscheck -ledger ops.jsonl                  # all checks, default thresholds
+//	opscheck -ledger ops.jsonl -checks goroutines
+//	opscheck -ledger ops.jsonl -heap 0.25 -drift 0.3 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tvarak/internal/live"
+)
+
+func main() {
+	var (
+		ledger     = flag.String("ledger", "", "ops resource ledger (JSONL) to analyze")
+		checks     = flag.String("checks", "heap,goroutines,drift", "comma-separated checks to enable (heap,goroutines,drift)")
+		heap       = flag.Float64("heap", 0, "heap-growth fraction threshold (0 = default)")
+		goroutines = flag.Int("goroutines", 0, "goroutine slack over the first sample (0 = default)")
+		drift      = flag.Float64("drift", 0, "throughput-drift fraction threshold (0 = default)")
+		minSamples = flag.Int("min-samples", 0, "minimum samples for the heap and drift checks (0 = default)")
+		verbose    = flag.Bool("v", false, "print the ledger summary even when clean")
+	)
+	flag.Parse()
+	if *ledger == "" {
+		fmt.Fprintln(os.Stderr, "opscheck: -ledger required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*ledger)
+	if err != nil {
+		fatal(err)
+	}
+	samples, err := live.ReadResourceLedger(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("%s: empty ledger", *ledger))
+	}
+
+	cfg := live.DefaultOpsCheck()
+	if *heap > 0 {
+		cfg.HeapGrowthFrac = *heap
+	}
+	if *goroutines > 0 {
+		cfg.GoroutineSlack = *goroutines
+	}
+	if *drift > 0 {
+		cfg.ThroughputDriftFrac = *drift
+	}
+	if *minSamples > 0 {
+		cfg.MinSamples = *minSamples
+	}
+
+	enabled := map[string]bool{}
+	for _, c := range strings.Split(*checks, ",") {
+		switch c = strings.TrimSpace(c); c {
+		case "heap", "goroutines", "drift":
+			enabled[c] = true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "opscheck: unknown check %q (want heap, goroutines, drift)\n", c)
+			os.Exit(2)
+		}
+	}
+	// Disable the unselected checks by making their thresholds
+	// unreachable: Analyze stays a single pass, selection stays here.
+	if !enabled["heap"] {
+		cfg.HeapGrowthFrac = 1e18
+	}
+	if !enabled["goroutines"] {
+		cfg.GoroutineSlack = 1 << 30
+	}
+	if !enabled["drift"] {
+		cfg.ThroughputDriftFrac = 1e18
+	}
+
+	findings := cfg.Analyze(samples)
+
+	first, last := samples[0], samples[len(samples)-1]
+	span := time.Duration(last.UnixMS-first.UnixMS) * time.Millisecond
+	if *verbose || len(findings) > 0 {
+		fmt.Printf("%s: %d samples over %v\n", *ledger, len(samples), span.Round(time.Second))
+		fmt.Printf("  heap       %s -> %s\n", bytesStr(first.HeapAlloc), bytesStr(last.HeapAlloc))
+		fmt.Printf("  rss        %s -> %s\n", bytesStr(first.RSSBytes), bytesStr(last.RSSBytes))
+		fmt.Printf("  goroutines %d -> %d\n", first.Goroutines, last.Goroutines)
+		fmt.Printf("  accesses   %d (final cumulative)\n", last.Accesses)
+	}
+	if len(findings) == 0 {
+		fmt.Printf("opscheck: clean (%d samples, checks: %s)\n", len(samples), *checks)
+		return
+	}
+	for _, fd := range findings {
+		fmt.Printf("opscheck: FLAG %s: %s\n", fd.Check, fd.Detail)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "opscheck:", err)
+	os.Exit(1)
+}
+
+func bytesStr(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

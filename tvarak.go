@@ -26,6 +26,7 @@ import (
 	"tvarak/internal/experiments"
 	"tvarak/internal/fault"
 	"tvarak/internal/harness"
+	"tvarak/internal/live"
 	"tvarak/internal/obs"
 	"tvarak/internal/oracle"
 	"tvarak/internal/param"
@@ -265,3 +266,33 @@ func WriteFaultReport(w io.Writer, r *FaultCampaignReport) error { return fault.
 
 // FaultCampaignApps lists the applications a campaign covers.
 func FaultCampaignApps() []string { return fault.AppNames() }
+
+// Live wall-clock telemetry: the metrics registry + run board behind the
+// CLIs' -ops-addr endpoint and resource ledger (see DESIGN.md §Live
+// telemetry). Strictly read-only — attaching it changes no simulated
+// result.
+type (
+	// LiveTelemetry bundles the live metric set and the per-cell run
+	// board; hand it to experiments.Options.Live / FaultCampaignOptions.Live.
+	LiveTelemetry = live.Telemetry
+	// OpsConfig selects the ops HTTP server address and resource-ledger
+	// path for StartLiveOps.
+	OpsConfig = live.OpsConfig
+	// LiveOps is the running ops bundle (HTTP server + resource sampler).
+	LiveOps = live.Ops
+	// ResourceSample is one line of the ops resource ledger.
+	ResourceSample = live.ResourceSample
+)
+
+// NewLiveTelemetry builds the full tvarak live metric set and an empty run
+// board.
+func NewLiveTelemetry() *LiveTelemetry { return live.NewTelemetry() }
+
+// StartLiveOps starts the ops HTTP server and/or the resource sampler per
+// the config; returns nil when the config enables neither. Close the
+// returned bundle before reading its artifacts.
+func StartLiveOps(t *LiveTelemetry, cfg OpsConfig) (*LiveOps, error) { return live.StartOps(t, cfg) }
+
+// ReadResourceLedger parses a JSONL ops resource ledger (tolerating a torn
+// final line from a killed process).
+func ReadResourceLedger(r io.Reader) ([]ResourceSample, error) { return live.ReadResourceLedger(r) }
