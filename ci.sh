@@ -44,21 +44,27 @@ echo "== go test -race (parallel harness gate) =="
 # (see race_test.go).
 # live: the ops metrics registry and run board are scraped over HTTP
 # concurrently with probe and lifecycle writes from simulating cells.
+# soak (+ its cmd/tool mains): the soak supervisor appends ledger lines
+# from pool workers while chaos children run, and its e2e tests re-exec
+# the race-instrumented test binary as the worker.
 go test -race -timeout 20m ./internal/harness/ ./internal/experiments/ \
     ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/obs/ \
     ./internal/cache/ ./internal/nvm/ ./internal/xsum/ ./internal/geom/ \
-    ./internal/pmem/ ./internal/live/ .
+    ./internal/pmem/ ./internal/live/ ./internal/soak/ \
+    ./cmd/tvarak-soak/ ./tools/soakcheck/ .
 
-echo "== coverage floor (internal/core + internal/sim) =="
-# Combined statement coverage of the two central packages, exercised by the
-# whole test suite. Floor is below the measured 93% to absorb drift, high
-# enough to catch a dead-code regression or a silently skipped suite.
-covfloor=85
+echo "== coverage floor (core + sim + fault + harness) =="
+# Combined statement coverage of the central simulation packages plus the
+# correctness machinery the soak loop leans on (the fault campaign and the
+# crash-safe harness). Floor is below the measured 88% to absorb drift,
+# high enough to catch a dead-code regression or a silently skipped suite.
+covfloor=80
 go test -coverprofile="$(pwd)/cover.out" \
-    -coverpkg=tvarak/internal/core,tvarak/internal/sim ./... >/dev/null
+    -coverpkg=tvarak/internal/core,tvarak/internal/sim,tvarak/internal/fault,tvarak/internal/harness \
+    ./... >/dev/null
 covpct=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$NF); print $NF}')
 rm -f cover.out
-echo "core+sim combined coverage: ${covpct}% (floor ${covfloor}%)"
+echo "core+sim+fault+harness combined coverage: ${covpct}% (floor ${covfloor}%)"
 if awk -v p="$covpct" -v f="$covfloor" 'BEGIN{exit !(p<f)}'; then
     echo "coverage ${covpct}% fell below floor ${covfloor}%" >&2
     exit 1
@@ -182,5 +188,25 @@ fi
 cmp "$tmp/clean.json" "$tmp/resumed.json"
 # Table output matches too, modulo the wall-clock timing header lines.
 diff <(grep -v '^# ' "$tmp/clean.txt") <(grep -v '^# ' "$tmp/resumed.txt")
+
+echo "== soak + chaos gate =="
+# A bounded fixed-seed soak inside a hard 90s budget: 16 sampled units
+# across every design with the oracle armed, chaos every 4th unit (the
+# supervisor SIGKILLs its own worker child mid-unit and resumes it from
+# the journal, asserting the resumed report is byte-identical), resource
+# gates every 8 units, one fsync'd ledger line per unit. soakcheck must
+# come back clean with at least one kill/resume cycle, and a same-seed
+# rerun must reproduce the ledger's canonical projection byte-for-byte
+# (DESIGN.md §11). Replay any flagged unit from its ledger line's seed and
+# key — see EXPERIMENTS.md "Overnight soak".
+go build -o "$tmp/tvarak-soak" ./cmd/tvarak-soak
+go build -o "$tmp/soakcheck" ./tools/soakcheck
+soak=(-seed 11 -units 16 -budget 90s -ops-sample 100ms)
+"$tmp/tvarak-soak" "${soak[@]}" -ledger "$tmp/soak-a.jsonl" -workdir "$tmp/soak-wa" >/dev/null
+"$tmp/soakcheck" -ledger "$tmp/soak-a.jsonl" -require-chaos 1
+"$tmp/tvarak-soak" "${soak[@]}" -ledger "$tmp/soak-b.jsonl" -workdir "$tmp/soak-wb" >/dev/null
+"$tmp/soakcheck" -ledger "$tmp/soak-a.jsonl" -canon >"$tmp/soak-a.canon"
+"$tmp/soakcheck" -ledger "$tmp/soak-b.jsonl" -canon >"$tmp/soak-b.canon"
+cmp "$tmp/soak-a.canon" "$tmp/soak-b.canon"
 
 echo "ci.sh: all checks passed"

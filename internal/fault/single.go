@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+
+	"tvarak/internal/param"
+)
+
+// UnitParams identifies one self-contained campaign unit: a single
+// (app, design) fault-injection run whose plan is derived from Seed and N
+// exactly like a campaign's. It is the re-entry API the soak harness uses
+// to replay any unit in isolation — in-process for a reference run, or in
+// a separate worker process for a kill/resume cycle — with a report
+// byte-identical to the same unit anywhere else.
+type UnitParams struct {
+	// App is a campaign application name (see AppNames).
+	App string `json:"app"`
+	// Design is the redundancy scheme the unit runs under. Tvarak units
+	// must detect and recover every injection; every other design is
+	// baseline-class — injections must be oracle-confirmed silent.
+	Design param.Design `json:"design"`
+	// Seed derives the unit's plan (injection specs and workload
+	// schedules). Same (App, Design, Seed, N): byte-identical report.
+	Seed int64 `json:"seed"`
+	// N is the number of injection specs in the plan (0 = a clean unit:
+	// warmup segment plus the end-of-unit oracle verification only).
+	N int `json:"n"`
+	// Shards is the weave-shard count for the unit's machine (a free
+	// determinism axis: results are byte-identical at any value).
+	Shards int `json:"shards"`
+}
+
+// Key is the stable identity string used for journaling and ledger lines.
+func (p UnitParams) Key() string {
+	return fmt.Sprintf("%s/%s|seed=%d|n=%d|shards=%d",
+		p.App, p.Design, p.Seed, p.N, p.Shards)
+}
+
+// RunSingleUnit executes one campaign unit to completion and returns its
+// report. Unit failures (a design missing a corruption, an oracle
+// divergence, a panic in the simulated machine) live in the report's
+// Failure field; the returned error covers only unknown apps and
+// cooperative cancellation (a cancelled unit has no report — a half-run
+// unit would fail its sweeps for reasons that are the interruption's
+// fault, not the design's).
+func RunSingleUnit(ctx context.Context, p UnitParams) (*UnitReport, error) {
+	spec, err := lookupApp(p.App)
+	if err != nil {
+		return nil, err
+	}
+	plan := NewPlan(p.App, p.Seed, p.N)
+	rep := runUnitShards(ctx, spec, p.Design, plan, p.Shards)
+	if rep == nil {
+		return nil, context.Cause(ctx)
+	}
+	return rep, nil
+}

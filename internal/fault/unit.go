@@ -128,6 +128,15 @@ type unitCtx struct {
 // the sweeps for reasons that are the interruption's fault, not the
 // design's).
 func runUnit(ctx context.Context, app appSpec, design param.Design, plan Plan) (rep *UnitReport) {
+	return runUnitShards(ctx, app, design, plan, 0)
+}
+
+// runUnitShards is runUnit with the weave-shard count threaded through to
+// the unit's machine configuration. Shards never change results (the
+// sharded weave is byte-identical at any setting, and the oracle's
+// observers degrade it to serial anyway), so reports stay comparable
+// across shard settings — the soak harness uses that as a free axis.
+func runUnitShards(ctx context.Context, app appSpec, design param.Design, plan Plan, shards int) (rep *UnitReport) {
 	rep = &UnitReport{App: plan.App, Design: design.String(), Rounds: len(plan.Rounds)}
 	defer func() {
 		if r := recover(); r != nil {
@@ -140,6 +149,7 @@ func runUnit(ctx context.Context, app appSpec, design param.Design, plan Plan) (
 		sweepBad: make(map[uint64]bool),
 	}
 	cfg := param.SmallTest(design)
+	cfg.Shards = shards
 	sys, err := harness.NewSystem(cfg)
 	if err != nil {
 		rep.fail("system: %v", err)
@@ -171,6 +181,9 @@ func runUnit(ctx context.Context, app appSpec, design param.Design, plan Plan) (
 		if rep.Failure != "" {
 			return rep
 		}
+	}
+	if u.cancelled() {
+		return nil
 	}
 	u.finish()
 	return rep
@@ -226,6 +239,13 @@ func (u *unitCtx) runRound(ri int, round Round) {
 	}
 	u.resolveWriteBugs(thisRound)
 	u.sweep()
+	if u.cancelled() {
+		// The sweep's engine run was truncated mid-verification: fills
+		// and recoveries it would have driven never happened, so the
+		// post-sweep checks would charge the design with the
+		// interruption's consequences. Void the report instead.
+		return
+	}
 	u.resolveAfterSweep(thisRound)
 	if u.rep.Failure != "" {
 		return
@@ -233,11 +253,26 @@ func (u *unitCtx) runRound(ri int, round Round) {
 	if round.Crash && u.design == param.Tvarak && u.sys.Ctrl != nil {
 		rng := rand.New(rand.NewSource(round.OpsSeed ^ 0x0ddba11))
 		if err := u.crashPoint(rng); err != nil {
+			if u.cancelled() {
+				return
+			}
 			u.rep.fail("crash point (round %d): %v", ri, err)
 			return
 		}
 		u.rep.CrashPoints++
 	}
+}
+
+// cancelled reports whether the unit's context has fired, marking the
+// unit interrupted if so. Any engine run can stop early at a phase
+// boundary once the context is done, so every post-run verdict must be
+// gated on this — a half-run sweep's findings are the interruption's
+// fault, not the design's.
+func (u *unitCtx) cancelled() bool {
+	if u.ctx != nil && u.ctx.Err() != nil {
+		u.interrupted = true
+	}
+	return u.interrupted
 }
 
 // arm resolves one spec against the lines the workload has written so

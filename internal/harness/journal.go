@@ -43,7 +43,8 @@ type journalKey struct{ kind, fp string }
 
 // journalRecord is the wire format: version, record kind (RecordCell
 // writes "cell", failures "fail", hang stack dumps "hang", the fault
-// campaign "unit"), the unit fingerprint, and the kind-specific payload.
+// campaign "unit", the soak harness "soak-unit"), the unit fingerprint,
+// and the kind-specific payload.
 type journalRecord struct {
 	V    int             `json:"v"`
 	Kind string          `json:"kind"`
@@ -91,14 +92,29 @@ func OpenJournal(path string) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("harness: reading journal: %w", err)
 	}
-	// Append after the last complete line: a torn final line stays in the
-	// file (harmlessly — it was counted corrupt) and the next record
-	// starts on a fresh line.
-	if _, err := f.Seek(0, 2); err != nil {
+	// Append after the last complete line. Two torn-tail shapes need a
+	// newline repaired in first (both are SIGKILL-mid-write artifacts):
+	// an unparseable partial line (counted corrupt above), and — subtler —
+	// a record whose bytes all made it to disk but whose trailing newline
+	// did not. The latter parses fine and is restored, but appending
+	// straight after it would merge the next record onto the same line,
+	// corrupting BOTH records on the following open. So the repair is
+	// keyed on how the file actually ends, not on the corrupt count.
+	end, err := f.Seek(0, 2)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("harness: seeking journal: %w", err)
 	}
-	if j.corrupt > 0 {
+	needsNL := false
+	if end > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, end-1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: inspecting journal tail: %w", err)
+		}
+		needsNL = last[0] != '\n'
+	}
+	if needsNL {
 		if _, err := f.WriteString("\n"); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("harness: repairing journal tail: %w", err)

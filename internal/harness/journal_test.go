@@ -191,6 +191,108 @@ func TestJournalToleratesTornTail(t *testing.T) {
 	}
 }
 
+// TestJournalTornTailEveryOffset simulates SIGKILL landing at every
+// possible point of the final record's write: the journal is truncated at
+// each byte offset of its last record (including the offset that keeps the
+// record's bytes but loses the trailing newline — the shape that used to
+// merge the next appended record onto the same line). Every truncation
+// must open cleanly, keep all fully-written earlier records restorable
+// with byte-identical payloads, and accept a fresh append that survives a
+// further reopen.
+func TestJournalTornTailEveryOffset(t *testing.T) {
+	type payload struct {
+		Label string `json:"label"`
+		N     int    `json:"n"`
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.journal")
+	j, err := harness.NewJournal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]payload{
+		"u0": {Label: "redis/Tvarak", N: 10},
+		"u1": {Label: "ctree/Baseline", N: 11},
+		"u2": {Label: "stream/Vilamb", N: 12},
+	}
+	for _, fp := range []string{"u0", "u1", "u2"} {
+		if err := j.Record("soak-unit", fp, want[fp]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("journal has %d lines, want 3", len(lines))
+	}
+	lastLine := lines[2]
+	start := len(data) - len(lastLine) // offset where the final record begins
+
+	expectPayload := func(t *testing.T, j *harness.Journal, fp string) {
+		t.Helper()
+		var got payload
+		if !j.Lookup("soak-unit", fp, &got) {
+			t.Fatalf("record %s not restorable", fp)
+		}
+		if got != want[fp] {
+			t.Fatalf("record %s restored as %+v, want %+v", fp, got, want[fp])
+		}
+	}
+
+	for off := start; off <= len(data); off++ {
+		t.Run(fmt.Sprintf("offset-%d", off), func(t *testing.T) {
+			path := filepath.Join(dir, fmt.Sprintf("torn-%d.journal", off))
+			if err := os.WriteFile(path, data[:off], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j2, err := harness.OpenJournal(path)
+			if err != nil {
+				t.Fatalf("open after truncation at %d: %v", off, err)
+			}
+			expectPayload(t, j2, "u0")
+			expectPayload(t, j2, "u1")
+			// The final record survives exactly when all its bytes (sans
+			// the newline) made it to disk.
+			wantLast := off >= start+len(lastLine)-1
+			var scratch payload
+			if got := j2.Lookup("soak-unit", "u2", &scratch); got != wantLast {
+				t.Fatalf("final record restorable = %v at offset %d, want %v", got, off, wantLast)
+			}
+			if err := j2.Record("soak-unit", "fresh", payload{Label: "appended", N: off}); err != nil {
+				t.Fatal(err)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// The append must start on a fresh line regardless of how the
+			// tail was torn: a reopen restores every surviving record AND
+			// the appended one (the failure mode this test pins down is the
+			// appended record merging into an unterminated final line,
+			// corrupting both).
+			j3, err := harness.OpenJournal(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer j3.Close()
+			expectPayload(t, j3, "u0")
+			expectPayload(t, j3, "u1")
+			if wantLast {
+				expectPayload(t, j3, "u2")
+			}
+			var fresh payload
+			if !j3.Lookup("soak-unit", "fresh", &fresh) || fresh.N != off {
+				t.Fatalf("appended record lost after reopen (got %+v)", fresh)
+			}
+		})
+	}
+}
+
 // panickingWorkload panics during Setup, exercising harness-level panic
 // containment (engine-level containment is tested in internal/sim).
 type panickingWorkload struct{ name string }

@@ -1,6 +1,10 @@
 package live
 
-import "fmt"
+import (
+	"fmt"
+	"os"
+	"strings"
+)
 
 // OpsCheck holds the thresholds for analyzing a resource ledger. The zero
 // value is not useful; start from DefaultOpsCheck. These are the gates the
@@ -134,6 +138,58 @@ func (c OpsCheck) checkDrift(samples []ResourceSample) *Finding {
 		}
 	}
 	return nil
+}
+
+// CheckNames lists the selectable resource checks in report order.
+func CheckNames() []string { return []string{"heap", "goroutines", "drift"} }
+
+// WithChecks returns a copy of c with every check NOT named disabled (its
+// threshold pushed out of reach, so Analyze stays a single pass and check
+// selection stays declarative). An empty selection keeps every check. This
+// is the selection logic tools/opscheck and the soak gates share; an
+// unknown name is an error, matching the CLI's strictness.
+func (c OpsCheck) WithChecks(names ...string) (OpsCheck, error) {
+	if len(names) == 0 {
+		return c, nil
+	}
+	enabled := map[string]bool{}
+	for _, n := range names {
+		switch n = strings.TrimSpace(n); n {
+		case "heap", "goroutines", "drift":
+			enabled[n] = true
+		case "":
+		default:
+			return c, fmt.Errorf("live: unknown check %q (want heap, goroutines, drift)", n)
+		}
+	}
+	if !enabled["heap"] {
+		c.HeapGrowthFrac = 1e18
+	}
+	if !enabled["goroutines"] {
+		c.GoroutineSlack = 1 << 30
+	}
+	if !enabled["drift"] {
+		c.ThroughputDriftFrac = 1e18
+	}
+	return c, nil
+}
+
+// AnalyzeLedgerFile reads the resource ledger at path and runs every
+// enabled check over it: the one code path behind both tools/opscheck and
+// the soak harness's periodic resource gates. The parsed samples are
+// returned alongside the findings so callers can render summaries without
+// a second read.
+func (c OpsCheck) AnalyzeLedgerFile(path string) ([]Finding, []ResourceSample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	samples, err := ReadResourceLedger(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Analyze(samples), samples, nil
 }
 
 func mean(v []float64) float64 {

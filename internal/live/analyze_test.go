@@ -1,0 +1,181 @@
+package live
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkLedger builds a ledger from parallel value slices; shorter slices
+// repeat their last element so cases only spell out the axis under test.
+func mkLedger(n int, heap []uint64, goroutines []int, aps []float64) []ResourceSample {
+	at := func(i, l int) int {
+		if i < l {
+			return i
+		}
+		return l - 1
+	}
+	out := make([]ResourceSample, n)
+	for i := range out {
+		out[i] = ResourceSample{
+			UnixMS:         int64(1000 * i),
+			HeapAlloc:      heap[at(i, len(heap))],
+			Goroutines:     goroutines[at(i, len(goroutines))],
+			AccessesPerSec: aps[at(i, len(aps))],
+		}
+	}
+	return out
+}
+
+func checksOf(fs []Finding) string {
+	var names []string
+	for _, f := range fs {
+		names = append(names, f.Check)
+	}
+	return strings.Join(names, ",")
+}
+
+func TestOpsCheckVerdictEdgeCases(t *testing.T) {
+	// DefaultOpsCheck: heap flags at >50% growth with >=90% rising steps,
+	// goroutine slack 8, drift flags at >50% half-vs-half shift, and the
+	// heap/drift checks need >= 8 samples.
+	cfg := DefaultOpsCheck()
+
+	// A 10-step monotonic doubling: every step non-decreasing, 100% growth.
+	leak := []uint64{100, 120, 135, 150, 160, 170, 180, 190, 195, 200}
+	// GC sawtooth around a flat mean: final sample double the first (a raw
+	// first-vs-last comparison would scream) but half the steps descend.
+	sawtooth := []uint64{100, 260, 90, 250, 95, 240, 100, 230, 95, 200}
+
+	cases := []struct {
+		name    string
+		samples []ResourceSample
+		want    string // comma-joined finding checks, "" = clean
+	}{
+		{
+			name:    "empty ledger",
+			samples: nil,
+			want:    "",
+		},
+		{
+			name:    "single sample",
+			samples: mkLedger(1, []uint64{1 << 30}, []int{10000}, []float64{1}),
+			want:    "",
+		},
+		{
+			name: "two samples goroutine leak",
+			// Below MinSamples for heap/drift, but the goroutine check
+			// needs only a first and a last.
+			samples: mkLedger(2, []uint64{100, 500}, []int{8, 17}, []float64{1000, 1}),
+			want:    "goroutine-leak",
+		},
+		{
+			name:    "goroutines exactly at slack",
+			samples: mkLedger(2, []uint64{100}, []int{8, 16}, []float64{0}),
+			want:    "", // last > first+slack flags; equal-to-slack must not
+		},
+		{
+			name:    "goroutines one over slack",
+			samples: mkLedger(2, []uint64{100}, []int{8, 17}, []float64{0}),
+			want:    "goroutine-leak",
+		},
+		{
+			name:    "monotonic heap leak",
+			samples: mkLedger(10, leak, []int{8}, []float64{100}),
+			want:    "heap-growth",
+		},
+		{
+			name: "GC sawtooth is not a leak",
+			// Grown AND mostly-rising must both hold; the sawtooth's
+			// descending halves keep riseFrac ~50%, well under 90%.
+			samples: mkLedger(10, sawtooth, []int{8}, []float64{100}),
+			want:    "",
+		},
+		{
+			name: "monotonic but within growth budget",
+			samples: mkLedger(10,
+				[]uint64{100, 105, 110, 115, 120, 125, 130, 135, 140, 145},
+				[]int{8}, []float64{100}),
+			want: "", // rises every step but only +45% < 50% threshold
+		},
+		{
+			name: "heap leak below MinSamples",
+			samples: mkLedger(7, []uint64{100, 120, 140, 160, 180, 200, 220},
+				[]int{8}, []float64{100}),
+			want: "",
+		},
+		{
+			name: "drift exactly at threshold",
+			// First half mean 100, second half mean 150: drift = 0.5,
+			// which is NOT > 0.5 — exactly-at-threshold must stay clean.
+			samples: mkLedger(8, []uint64{100}, []int{8},
+				[]float64{100, 100, 100, 100, 150, 150, 150, 150}),
+			want: "",
+		},
+		{
+			name: "drift just past threshold",
+			samples: mkLedger(8, []uint64{100}, []int{8},
+				[]float64{100, 100, 100, 100, 151, 151, 151, 151}),
+			want: "throughput-drift",
+		},
+		{
+			name: "negative drift flags too",
+			samples: mkLedger(8, []uint64{100}, []int{8},
+				[]float64{200, 200, 200, 200, 50, 50, 50, 50}),
+			want: "throughput-drift",
+		},
+		{
+			name: "idle samples do not dilute drift",
+			// 8 active samples that drift, padded with zero-rate samples:
+			// only AccessesPerSec > 0 participates, so this still flags.
+			samples: mkLedger(12, []uint64{100}, []int{8},
+				[]float64{0, 0, 100, 100, 100, 100, 151, 151, 151, 151, 0, 0}),
+			want: "throughput-drift",
+		},
+		{
+			name: "active samples below MinSamples",
+			samples: mkLedger(12, []uint64{100}, []int{8},
+				[]float64{0, 0, 0, 0, 0, 100, 100, 100, 100, 151, 151, 151}),
+			want: "",
+		},
+		{
+			name:    "zero first heap sample never divides",
+			samples: mkLedger(10, []uint64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}, []int{8}, []float64{100}),
+			want:    "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := checksOf(cfg.Analyze(tc.samples)); got != tc.want {
+				t.Errorf("Analyze flagged %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOpsCheckWithChecks(t *testing.T) {
+	leaky := mkLedger(2, []uint64{100}, []int{8, 100}, []float64{0})
+
+	all, err := DefaultOpsCheck().WithChecks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checksOf(all.Analyze(leaky)); got != "goroutine-leak" {
+		t.Errorf("empty selection = %q, want every check enabled", got)
+	}
+
+	only, err := DefaultOpsCheck().WithChecks("heap", "drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := checksOf(only.Analyze(leaky)); got != "" {
+		t.Errorf("deselected goroutine check still flagged: %q", got)
+	}
+
+	if _, err := DefaultOpsCheck().WithChecks("rss"); err == nil {
+		t.Error("unknown check name accepted")
+	}
+	// Trailing empties (a "heap," CLI string) are tolerated.
+	if _, err := DefaultOpsCheck().WithChecks("heap", ""); err != nil {
+		t.Errorf("blank check name rejected: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+// Package soak composes the repository's long-horizon confidence pieces —
+// seeded fault campaigns with the shadow oracle (internal/fault), the
+// crash-safe journal (internal/harness), and the live resource gates
+// (internal/live) — into one continuous chaos-testing loop: an endless,
+// deterministically-sampled stream of (app × design × shards × fault-plan)
+// units, periodic SIGKILL/resume cycles through a worker child process
+// with byte-identity checks, and a cumulative fsync'd JSONL ledger that
+// tools/soakcheck turns into a verdict. A regression that only manifests
+// after hours — a leaked goroutine, heap creep, a rare fault-schedule
+// interleaving, a resume path that diverges — is exactly what this loop
+// exists to catch early (see DESIGN.md §11).
+package soak
+
+import (
+	"fmt"
+
+	"tvarak/internal/fault"
+	"tvarak/internal/param"
+)
+
+// Unit is one sampled soak unit: the stream index plus the fully-derived
+// fault-campaign unit parameters. Units are a pure function of
+// (master seed, index) — no global RNG, no clock — so any unit can be
+// replayed in isolation (in-process, in a worker child, or by hand from a
+// ledger line) and the stream enumerates identically at any parallelism.
+type Unit struct {
+	Index int
+	fault.UnitParams
+}
+
+// Fingerprint is the journal/ledger identity of the unit within a soak
+// run: master seed, stream index, and the unit's own parameters.
+func (u Unit) Fingerprint(master int64) string {
+	return fmt.Sprintf("soak|seed=%d|i=%d|%s", master, u.Index, u.Key())
+}
+
+// splitmix64 is the SplitMix64 mixer: a bijective avalanche function good
+// enough to decorrelate adjacent indices into independent-looking draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sampler axes. Tvarak is deliberately over-weighted: it is the design
+// with hard detect-and-recover obligations, so most soak time should be
+// spent where a miss is a failure. The rest of the axis keeps the
+// baseline-class contrast (injections must be oracle-confirmed silent)
+// and the time-dependent Vilamb/TxB software schemes in rotation.
+var (
+	samplerDesigns = []param.Design{
+		param.Tvarak, param.Baseline, param.Tvarak, param.Vilamb,
+		param.Tvarak, param.TxBObjectCsums, param.TxBPageCsums, param.Baseline,
+	}
+	samplerShards = []int{0, 0, 2, 3}
+)
+
+// UnitAt derives soak unit index of the stream seeded by master. It is
+// pure: same (master, index) — same unit, on any machine, in any process,
+// regardless of what other indices were sampled or in what order.
+func UnitAt(master int64, index int) Unit {
+	base := splitmix64(splitmix64(uint64(master)) ^ splitmix64(uint64(index)*0x9e3779b97f4a7c15))
+	draw := func(slot uint64) uint64 { return splitmix64(base + slot) }
+
+	apps := fault.AppNames()
+	p := fault.UnitParams{
+		App:    apps[draw(0)%uint64(len(apps))],
+		Design: samplerDesigns[draw(1)%uint64(len(samplerDesigns))],
+		Shards: samplerShards[draw(2)%uint64(len(samplerShards))],
+		// 6..13 injections: several rounds' worth, small enough that one
+		// unit stays a sub-second replay target.
+		N:    int(6 + draw(3)%8),
+		Seed: int64(draw(4) &^ (1 << 63)), // non-negative, full 63-bit range
+	}
+	return Unit{Index: index, UnitParams: p}
+}

@@ -39,19 +39,6 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*ledger)
-	if err != nil {
-		fatal(err)
-	}
-	samples, err := live.ReadResourceLedger(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	if len(samples) == 0 {
-		fatal(fmt.Errorf("%s: empty ledger", *ledger))
-	}
-
 	cfg := live.DefaultOpsCheck()
 	if *heap > 0 {
 		cfg.HeapGrowthFrac = *heap
@@ -65,31 +52,22 @@ func main() {
 	if *minSamples > 0 {
 		cfg.MinSamples = *minSamples
 	}
-
-	enabled := map[string]bool{}
-	for _, c := range strings.Split(*checks, ",") {
-		switch c = strings.TrimSpace(c); c {
-		case "heap", "goroutines", "drift":
-			enabled[c] = true
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "opscheck: unknown check %q (want heap, goroutines, drift)\n", c)
-			os.Exit(2)
-		}
-	}
-	// Disable the unselected checks by making their thresholds
-	// unreachable: Analyze stays a single pass, selection stays here.
-	if !enabled["heap"] {
-		cfg.HeapGrowthFrac = 1e18
-	}
-	if !enabled["goroutines"] {
-		cfg.GoroutineSlack = 1 << 30
-	}
-	if !enabled["drift"] {
-		cfg.ThroughputDriftFrac = 1e18
+	cfg, err := cfg.WithChecks(strings.Split(*checks, ",")...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opscheck:", err)
+		os.Exit(2)
 	}
 
-	findings := cfg.Analyze(samples)
+	// The analysis itself is the library code path the soak harness's
+	// resource gates share (live.OpsCheck.AnalyzeLedgerFile); this CLI only
+	// adds flag parsing and rendering.
+	findings, samples, err := cfg.AnalyzeLedgerFile(*ledger)
+	if err != nil {
+		fatal(err)
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("%s: empty ledger", *ledger))
+	}
 
 	first, last := samples[0], samples[len(samples)-1]
 	span := time.Duration(last.UnixMS-first.UnixMS) * time.Millisecond
