@@ -47,24 +47,28 @@ echo "== go test -race (parallel harness gate) =="
 # soak (+ its cmd/tool mains): the soak supervisor appends ledger lines
 # from pool workers while chaos children run, and its e2e tests re-exec
 # the race-instrumented test binary as the worker.
+# fleet: the gateway's lease table and drain path are hit by concurrent
+# worker goroutines (and its tests run whole in-process fleets through a
+# fault-injecting transport).
 go test -race -timeout 20m ./internal/harness/ ./internal/experiments/ \
     ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/obs/ \
     ./internal/cache/ ./internal/nvm/ ./internal/xsum/ ./internal/geom/ \
-    ./internal/pmem/ ./internal/live/ ./internal/soak/ \
+    ./internal/pmem/ ./internal/live/ ./internal/soak/ ./internal/fleet/ \
     ./cmd/tvarak-soak/ ./tools/soakcheck/ .
 
-echo "== coverage floor (core + sim + fault + harness) =="
+echo "== coverage floor (core + sim + fault + harness + fleet) =="
 # Combined statement coverage of the central simulation packages plus the
 # correctness machinery the soak loop leans on (the fault campaign and the
-# crash-safe harness). Floor is below the measured 88% to absorb drift,
-# high enough to catch a dead-code regression or a silently skipped suite.
+# crash-safe harness) and the fleet control plane. Floor is below the
+# measured ~88% to absorb drift, high enough to catch a dead-code
+# regression or a silently skipped suite.
 covfloor=80
 go test -coverprofile="$(pwd)/cover.out" \
-    -coverpkg=tvarak/internal/core,tvarak/internal/sim,tvarak/internal/fault,tvarak/internal/harness \
+    -coverpkg=tvarak/internal/core,tvarak/internal/sim,tvarak/internal/fault,tvarak/internal/harness,tvarak/internal/fleet \
     ./... >/dev/null
 covpct=$(go tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$NF); print $NF}')
 rm -f cover.out
-echo "core+sim+fault+harness combined coverage: ${covpct}% (floor ${covfloor}%)"
+echo "core+sim+fault+harness+fleet combined coverage: ${covpct}% (floor ${covfloor}%)"
 if awk -v p="$covpct" -v f="$covfloor" 'BEGIN{exit !(p<f)}'; then
     echo "coverage ${covpct}% fell below floor ${covfloor}%" >&2
     exit 1
@@ -208,5 +212,44 @@ soak=(-seed 11 -units 16 -budget 90s -ops-sample 100ms)
 "$tmp/soakcheck" -ledger "$tmp/soak-a.jsonl" -canon >"$tmp/soak-a.canon"
 "$tmp/soakcheck" -ledger "$tmp/soak-b.jsonl" -canon >"$tmp/soak-b.canon"
 cmp "$tmp/soak-a.canon" "$tmp/soak-b.canon"
+
+echo "== fleet sweep gate =="
+# The same sweep the interrupt gate ran locally, now through a gateway and
+# two localhost workers — with one worker SIGKILLed mid-sweep. The dead
+# worker's lease must expire and be re-dispatched (>=1 redelivery in the
+# summary), and the merged table and export must come out byte-identical
+# to the local run's (DESIGN.md §12). -acquire-delay holds the victim
+# between lease grant and unit start so the kill reliably orphans a lease.
+go build -o "$tmp/tvarak-gateway" ./cmd/tvarak-gateway
+go build -o "$tmp/tvarak-worker" ./cmd/tvarak-worker
+"$tmp/tvarak-gateway" "${res[@]}" \
+    -listen 127.0.0.1:0 -addr-file "$tmp/gw.addr" \
+    -lease-ttl 2s -redeliver-backoff 100ms \
+    -journal "$tmp/fleet.journal" -summary-file "$tmp/fleet-summary.json" \
+    -metrics-out "$tmp/fleet.json" >"$tmp/fleet.txt" 2>/dev/null &
+gwpid=$!
+gwaddr=""
+for _ in $(seq 1 100); do
+    if [ -s "$tmp/gw.addr" ]; then gwaddr=$(cat "$tmp/gw.addr"); break; fi
+    sleep 0.05
+done
+if [ -z "$gwaddr" ]; then
+    echo "fleet gate: gateway address never appeared in $tmp/gw.addr" >&2
+    exit 1
+fi
+"$tmp/tvarak-worker" -gateway "http://$gwaddr" -name victim \
+    -acquire-delay 5s >/dev/null 2>&1 &
+victim=$!
+sleep 1
+kill -9 "$victim" 2>/dev/null || true
+"$tmp/tvarak-worker" -gateway "http://$gwaddr" -name survivor -slots 2 2>/dev/null
+wait "$gwpid"
+grep -Eq '"redelivered": *[1-9]' "$tmp/fleet-summary.json" || {
+    echo "fleet gate: no redelivery after SIGKILLing a worker:" >&2
+    cat "$tmp/fleet-summary.json" >&2
+    exit 1
+}
+cmp "$tmp/clean.json" "$tmp/fleet.json"
+diff <(grep -v '^# ' "$tmp/clean.txt") <(grep -v '^# ' "$tmp/fleet.txt")
 
 echo "ci.sh: all checks passed"

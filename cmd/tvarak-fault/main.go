@@ -130,11 +130,15 @@ func runCampaign(seed int64, n, workers int, shrink bool, report, journalPath st
 		return fmt.Errorf("-resume requires -journal")
 	}
 	if journalPath != "" {
+		// Scope the journal to the campaign's shape — the same string the
+		// fleet's CampaignPlan uses, so a gateway journal and a local one
+		// are interchangeable — and reject -resume across skewed options.
+		scope := fmt.Sprintf("fault-campaign|seed=%d|n=%d|apps=", seed, n)
 		var err error
 		if resume {
-			journal, err = tvarak.ResumeRunJournal(journalPath)
+			journal, err = tvarak.ResumeScopedRunJournal(journalPath, scope)
 		} else {
-			journal, err = tvarak.NewRunJournal(journalPath)
+			journal, err = tvarak.NewScopedRunJournal(journalPath, scope)
 		}
 		if err != nil {
 			return err

@@ -166,11 +166,17 @@ func main() {
 		os.Exit(2)
 	}
 	if *journalPath != "" {
+		// The journal is bound to the options that shape the run's cells:
+		// -resume under different options fails with an error naming both
+		// scopes instead of silently restoring nothing (legacy header-less
+		// journals are still accepted).
+		scope := fmt.Sprintf("tvarak-sim|exp=%s|scale=%g|full=%t|designs=%s",
+			*exp, *scale, *full, *designs)
 		var err error
 		if *resume {
-			journal, err = tvarak.ResumeRunJournal(*journalPath)
+			journal, err = tvarak.ResumeScopedRunJournal(*journalPath, scope)
 		} else {
-			journal, err = tvarak.NewRunJournal(*journalPath)
+			journal, err = tvarak.NewScopedRunJournal(*journalPath, scope)
 		}
 		if err != nil {
 			fatal(err)

@@ -127,10 +127,12 @@ func (o Options) scaleBytes(n uint64) uint64 {
 	return 1
 }
 
-// scope namespaces journal fingerprints: the experiment id plus every
+// Scope namespaces journal fingerprints: the experiment id plus every
 // option that changes what a cell simulates. (Designs and SampleEvery
-// already shape each cell's own fingerprint.)
-func (o Options) scope(id string) string {
+// already shape each cell's own fingerprint.) The fleet's gateway/worker
+// handshake compares Scope strings to reject version- or option-skewed
+// peers, and a journaled run resumes only under the same Scope.
+func (o Options) Scope(id string) string {
 	return fmt.Sprintf("%s|scale=%g|full=%t", id, o.Scale, o.FullScale)
 }
 
@@ -145,7 +147,7 @@ func (o Options) run(id, title string, cells []harness.Cell) (*harness.Table, er
 		Progress:    o.Progress,
 		Context:     o.Context,
 		Journal:     o.Journal,
-		Scope:       o.scope(id),
+		Scope:       o.Scope(id),
 		CellTimeout: o.CellTimeout,
 		Retries:     o.Retries,
 		Degrade:     o.Degrade,
@@ -158,6 +160,7 @@ func (o Options) run(id, title string, cells []harness.Cell) (*harness.Table, er
 type Experiment struct {
 	ID    string
 	Paper string // which figure/table it reproduces
+	Title string // rendered table title; a fleet merge reuses it so distributed output is byte-identical
 	Run   func(o Options) (*harness.Table, error)
 }
 
@@ -201,20 +204,24 @@ func runFromCells(title string, id string) func(Options) (*harness.Table, error)
 
 // Experiments returns the full registry, in paper order.
 func Experiments() []Experiment {
-	return []Experiment{
-		{ID: "fig8-redis", Paper: "Fig. 8(a)-(d): Redis set-only and get-only", Run: runFromCells("Fig. 8(a)-(d) Redis", "fig8-redis")},
-		{ID: "fig8-kv", Paper: "Fig. 8(e)-(h): C-Tree/B-Tree/RB-Tree insert-only and balanced", Run: runFromCells("Fig. 8(e)-(h) key-value structures", "fig8-kv")},
-		{ID: "fig8-nstore", Paper: "Fig. 8(i)-(l): N-Store YCSB read-heavy/balanced/update-heavy", Run: runFromCells("Fig. 8(i)-(l) N-Store", "fig8-nstore")},
-		{ID: "fig8-fio", Paper: "Fig. 8(m)-(p): fio seq/rand reads and writes", Run: runFromCells("Fig. 8(m)-(p) fio", "fig8-fio")},
-		{ID: "fig8-stream", Paper: "Fig. 8(q)-(t): stream copy/scale/add/triad", Run: runFromCells("Fig. 8(q)-(t) stream", "fig8-stream")},
-		{ID: "fig9", Paper: "Fig. 9: impact of TVARAK's design choices", Run: runFromCells("Fig. 9 design-choice ablation (vs Baseline)", "fig9")},
-		{ID: "fig10a", Paper: "Fig. 10(a): sensitivity to redundancy-caching LLC ways", Run: runFromCells("Fig. 10(a) redundancy-caching way sensitivity", "fig10a")},
-		{ID: "fig10b", Paper: "Fig. 10(b): sensitivity to data-diff LLC ways", Run: runFromCells("Fig. 10(b) data-diff way sensitivity", "fig10b")},
-		{ID: "sec4g", Paper: "§IV-G: exclusive caches (TVARAK without LLC data diffs)", Run: runFromCells("§IV-G exclusive-cache TVARAK (no LLC data diffs)", "sec4g")},
-		{ID: "sec4h-dimms", Paper: "§IV-H: 4 vs 8 NVM DIMMs", Run: runFromCells("§IV-H NVM DIMM count (stream triad)", "sec4h-dimms")},
-		{ID: "sec4h-tech", Paper: "§IV-H: Optane-like vs battery-backed-DRAM NVM", Run: runFromCells("§IV-H NVM technology (stream triad)", "sec4h-tech")},
-		{ID: "ext-vilamb", Paper: "extension: Table I's Vilamb row (asynchronous epochs) vs the paper's designs", Run: runFromCells("extension: Vilamb (asynchronous epochs) vs evaluated designs", "ext-vilamb")},
+	exps := []Experiment{
+		{ID: "fig8-redis", Paper: "Fig. 8(a)-(d): Redis set-only and get-only", Title: "Fig. 8(a)-(d) Redis"},
+		{ID: "fig8-kv", Paper: "Fig. 8(e)-(h): C-Tree/B-Tree/RB-Tree insert-only and balanced", Title: "Fig. 8(e)-(h) key-value structures"},
+		{ID: "fig8-nstore", Paper: "Fig. 8(i)-(l): N-Store YCSB read-heavy/balanced/update-heavy", Title: "Fig. 8(i)-(l) N-Store"},
+		{ID: "fig8-fio", Paper: "Fig. 8(m)-(p): fio seq/rand reads and writes", Title: "Fig. 8(m)-(p) fio"},
+		{ID: "fig8-stream", Paper: "Fig. 8(q)-(t): stream copy/scale/add/triad", Title: "Fig. 8(q)-(t) stream"},
+		{ID: "fig9", Paper: "Fig. 9: impact of TVARAK's design choices", Title: "Fig. 9 design-choice ablation (vs Baseline)"},
+		{ID: "fig10a", Paper: "Fig. 10(a): sensitivity to redundancy-caching LLC ways", Title: "Fig. 10(a) redundancy-caching way sensitivity"},
+		{ID: "fig10b", Paper: "Fig. 10(b): sensitivity to data-diff LLC ways", Title: "Fig. 10(b) data-diff way sensitivity"},
+		{ID: "sec4g", Paper: "§IV-G: exclusive caches (TVARAK without LLC data diffs)", Title: "§IV-G exclusive-cache TVARAK (no LLC data diffs)"},
+		{ID: "sec4h-dimms", Paper: "§IV-H: 4 vs 8 NVM DIMMs", Title: "§IV-H NVM DIMM count (stream triad)"},
+		{ID: "sec4h-tech", Paper: "§IV-H: Optane-like vs battery-backed-DRAM NVM", Title: "§IV-H NVM technology (stream triad)"},
+		{ID: "ext-vilamb", Paper: "extension: Table I's Vilamb row (asynchronous epochs) vs the paper's designs", Title: "extension: Vilamb (asynchronous epochs) vs evaluated designs"},
 	}
+	for i := range exps {
+		exps[i].Run = runFromCells(exps[i].Title, exps[i].ID)
+	}
+	return exps
 }
 
 // Lookup finds an experiment by id.

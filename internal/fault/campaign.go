@@ -74,39 +74,48 @@ type Report struct {
 	Interrupted int `json:"interrupted,omitempty"`
 }
 
-type unitKey struct {
-	app    appSpec
-	design param.Design
-	plan   Plan
-}
-
-// Run executes the campaign: one unit per (app, design), the same
-// per-app plan hitting every design. Units are independent simulations,
-// so they run across a worker pool; unit order in the report is fixed
-// (app-major, design-minor) regardless of completion order. The returned
-// error summarizes failed units — the full detail is in the report.
-func Run(opt Options) (*Report, error) {
-	apps := opt.Apps
+// normalized resolves the campaign's defaulted knobs: the app list, the
+// design list, and the total injection count. Every consumer of the
+// enumeration (Run, CampaignUnits, AssembleReport — and through them the
+// fleet's gateway and workers) must agree on these, or fingerprints and
+// report headers would diverge between a local and a distributed run.
+func (opt Options) normalized() (apps []string, designs []param.Design, total int) {
+	apps = opt.Apps
 	if len(apps) == 0 {
 		apps = AppNames()
 	}
-	designs := opt.Designs
+	designs = opt.Designs
 	if len(designs) == 0 {
 		designs = []param.Design{param.Baseline, param.Tvarak}
 	}
-	if opt.N <= 0 {
-		opt.N = len(apps)
+	total = opt.N
+	if total <= 0 {
+		total = len(apps)
 	}
-	rep := &Report{Seed: opt.Seed, Injections: opt.N, Apps: apps}
-	for _, d := range designs {
-		rep.Designs = append(rep.Designs, d.String())
-	}
+	return apps, designs, total
+}
 
-	var units []unitKey
-	per, extra := opt.N/len(apps), opt.N%len(apps)
+// CampaignUnit is one enumerated unit of a campaign: the standalone
+// re-entry parameters (RunSingleUnit replays it bit-identically anywhere),
+// the campaign-level journal fingerprint, and the human label. The slice
+// order from CampaignUnits (app-major, design-minor) IS the report order.
+type CampaignUnit struct {
+	Params UnitParams
+	Fp     string
+	Label  string
+}
+
+// CampaignUnits enumerates the campaign's units without running anything.
+// It is the shared enumeration under Run and under the fleet's
+// gateway/worker split: both sides derive the identical unit list (and
+// fingerprints) from the same Options, so a lease's fingerprint
+// cross-checks against an independently-enumerated unit.
+func CampaignUnits(opt Options) ([]CampaignUnit, error) {
+	apps, designs, total := opt.normalized()
+	var units []CampaignUnit
+	per, extra := total/len(apps), total%len(apps)
 	for ai, name := range apps {
-		spec, err := lookupApp(name)
-		if err != nil {
+		if _, err := lookupApp(name); err != nil {
 			return nil, err
 		}
 		n := per
@@ -115,89 +124,33 @@ func Run(opt Options) (*Report, error) {
 		}
 		// Per-app seed: decorrelate apps while keeping the derivation
 		// printable/reproducible from the campaign seed alone.
-		plan := NewPlan(name, opt.Seed+int64(ai)*0x4f1bbcdcbfa53e0b, n)
+		seed := opt.Seed + int64(ai)*0x4f1bbcdcbfa53e0b
 		for _, d := range designs {
-			units = append(units, unitKey{app: spec, design: d, plan: plan})
+			units = append(units, CampaignUnit{
+				Params: UnitParams{App: name, Design: d, Seed: seed, N: n},
+				Fp: fmt.Sprintf("fault-unit|seed=%d|n=%d|%s|%s",
+					opt.Seed, total, name, d),
+				Label: name + "/" + d.String(),
+			})
 		}
 	}
+	return units, nil
+}
 
-	rep.Units = make([]*UnitReport, len(units))
-	var (
-		mu      sync.Mutex
-		done    int
-		resumed int
-	)
-	unitFp := func(i int) string {
-		return fmt.Sprintf("fault-unit|seed=%d|n=%d|%s|%s",
-			opt.Seed, opt.N, units[i].app.name, units[i].design)
+// AssembleReport folds per-unit reports (in CampaignUnits order; nil slots
+// mark units that never ran) into the campaign Report, exactly as Run
+// does: totals, failure summary error, optional shrinking of failing
+// units, and the interrupted accounting. The fleet's gateway merges
+// worker-produced unit reports through this, so a distributed campaign's
+// JSONL is byte-identical to a local run's.
+func AssembleReport(opt Options, units []CampaignUnit, reports []*UnitReport) (*Report, error) {
+	apps, designs, total := opt.normalized()
+	rep := &Report{Seed: opt.Seed, Injections: total, Apps: apps, Units: reports}
+	for _, d := range designs {
+		rep.Designs = append(rep.Designs, d.String())
 	}
-	unitLabel := func(i int) string {
-		return units[i].app.name + "/" + units[i].design.String()
-	}
-	if opt.Live != nil {
-		opt.Live.Board.Begin("fault-campaign", len(units))
-	}
-	_ = harness.Runner{Workers: opt.Workers, Context: opt.Context}.ForEach(len(units), func(i int) error {
-		var u *UnitReport
-		if opt.Journal != nil {
-			var ju UnitReport
-			if opt.Journal.Lookup("unit", unitFp(i), &ju) {
-				u = &ju
-				if opt.Live != nil {
-					opt.Live.Runner.Restored.AddAt(i, 1)
-					opt.Live.Board.CellRestored(i, unitLabel(i), 0, 0)
-				}
-				mu.Lock()
-				resumed++
-				mu.Unlock()
-			}
-		}
-		if u == nil {
-			if opt.Live != nil {
-				opt.Live.Runner.Started.AddAt(i, 1)
-				opt.Live.Board.CellRunning(i, unitLabel(i))
-			}
-			u = runUnit(opt.Context, units[i].app, units[i].design, units[i].plan)
-			if u == nil {
-				// Interrupted mid-unit: the slot stays empty (counted as
-				// Interrupted below), nothing is journaled, and the error
-				// stops the pool from starting further units.
-				return context.Cause(opt.Context)
-			}
-			if opt.Journal != nil {
-				if err := opt.Journal.Record("unit", unitFp(i), u); err != nil {
-					return fmt.Errorf("fault: journaling unit %s: %w", u.Label(), err)
-				}
-			}
-			if opt.Live != nil {
-				// Executed units (not restored ones) fold their injection
-				// outcomes into the process-wide fault counters: /metrics
-				// reports the work this process actually performed.
-				opt.Live.Fault.Armed.AddAt(i, uint64(u.Armed))
-				opt.Live.Fault.Detected.AddAt(i, u.Detections)
-				opt.Live.Fault.Recovered.AddAt(i, u.Recoveries)
-				if u.Failure != "" {
-					opt.Live.Runner.Failed.AddAt(i, 1)
-					opt.Live.Board.CellFailed(i, unitLabel(i), u.Failure, false)
-				} else {
-					opt.Live.Runner.Finished.AddAt(i, 1)
-					opt.Live.Board.CellDone(i, 0, 0)
-				}
-			}
-		}
-		rep.Units[i] = u
-		if opt.Progress != nil {
-			mu.Lock()
-			done++
-			opt.Progress(done, len(units), u)
-			mu.Unlock()
-		}
-		return nil // unit failures live in the report, not the pool
-	})
-	rep.Resumed = resumed
-
 	var failed []string
-	for i, u := range rep.Units {
+	for i, u := range reports {
 		if u == nil { // slot never ran: the campaign was cancelled
 			rep.Interrupted++
 			continue
@@ -216,7 +169,13 @@ func Run(opt Options) (*Report, error) {
 				if budget <= 0 {
 					budget = 48
 				}
-				u.MinimalSpecs, u.ShrinkRuns = shrinkUnit(units[i].app, units[i].design, units[i].plan, budget)
+				p := units[i].Params
+				app, err := lookupApp(p.App)
+				if err != nil {
+					return rep, err
+				}
+				plan := NewPlan(p.App, p.Seed, p.N)
+				u.MinimalSpecs, u.ShrinkRuns = shrinkUnit(app, p.Design, plan, budget)
 			}
 		}
 	}
@@ -233,4 +192,87 @@ func Run(opt Options) (*Report, error) {
 			rep.Interrupted, cause)
 	}
 	return rep, nil
+}
+
+// Run executes the campaign: one unit per (app, design), the same
+// per-app plan hitting every design. Units are independent simulations,
+// so they run across a worker pool; unit order in the report is fixed
+// (app-major, design-minor) regardless of completion order. The returned
+// error summarizes failed units — the full detail is in the report.
+func Run(opt Options) (*Report, error) {
+	units, err := CampaignUnits(opt)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*UnitReport, len(units))
+	var (
+		mu      sync.Mutex
+		done    int
+		resumed int
+	)
+	if opt.Live != nil {
+		opt.Live.Board.Begin("fault-campaign", len(units))
+	}
+	_ = harness.Runner{Workers: opt.Workers, Context: opt.Context}.ForEach(len(units), func(i int) error {
+		var u *UnitReport
+		if opt.Journal != nil {
+			var ju UnitReport
+			if opt.Journal.Lookup("unit", units[i].Fp, &ju) {
+				u = &ju
+				if opt.Live != nil {
+					opt.Live.Runner.Restored.AddAt(i, 1)
+					opt.Live.Board.CellRestored(i, units[i].Label, 0, 0)
+				}
+				mu.Lock()
+				resumed++
+				mu.Unlock()
+			}
+		}
+		if u == nil {
+			if opt.Live != nil {
+				opt.Live.Runner.Started.AddAt(i, 1)
+				opt.Live.Board.CellRunning(i, units[i].Label)
+			}
+			var err error
+			u, err = RunSingleUnit(opt.Context, units[i].Params)
+			if u == nil {
+				// Interrupted mid-unit: the slot stays empty (counted as
+				// Interrupted in the fold), nothing is journaled, and the
+				// error stops the pool from starting further units.
+				return err
+			}
+			if opt.Journal != nil {
+				if err := opt.Journal.Record("unit", units[i].Fp, u); err != nil {
+					return fmt.Errorf("fault: journaling unit %s: %w", u.Label(), err)
+				}
+			}
+			if opt.Live != nil {
+				// Executed units (not restored ones) fold their injection
+				// outcomes into the process-wide fault counters: /metrics
+				// reports the work this process actually performed.
+				opt.Live.Fault.Armed.AddAt(i, uint64(u.Armed))
+				opt.Live.Fault.Detected.AddAt(i, u.Detections)
+				opt.Live.Fault.Recovered.AddAt(i, u.Recoveries)
+				if u.Failure != "" {
+					opt.Live.Runner.Failed.AddAt(i, 1)
+					opt.Live.Board.CellFailed(i, units[i].Label, u.Failure, false)
+				} else {
+					opt.Live.Runner.Finished.AddAt(i, 1)
+					opt.Live.Board.CellDone(i, 0, 0)
+				}
+			}
+		}
+		reports[i] = u
+		if opt.Progress != nil {
+			mu.Lock()
+			done++
+			opt.Progress(done, len(units), u)
+			mu.Unlock()
+		}
+		return nil // unit failures live in the report, not the pool
+	})
+
+	rep, err := AssembleReport(opt, units, reports)
+	rep.Resumed = resumed
+	return rep, err
 }

@@ -1,0 +1,188 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultSpec declares, per matching request, how a FaultTransport mangles
+// fleet traffic. Probabilities are in [0, 1] and drawn from a seeded
+// deterministic stream, so a test run's fault schedule is reproducible.
+type FaultSpec struct {
+	// Seed selects the deterministic fault stream.
+	Seed uint64
+	// PathPrefix restricts faults to request paths with this prefix
+	// ("" = every request). Targeting "/v1/result" exercises the result
+	// stream without destabilizing the lease plane, and vice versa.
+	PathPrefix string
+	// DropRequest is the probability the request never reaches the
+	// server: the caller sees a transport error.
+	DropRequest float64
+	// DropResponse is the probability the SERVER PROCESSES the request
+	// but the response is lost — the nasty half of at-least-once: the
+	// caller retries something that already happened, manufacturing
+	// duplicates.
+	DropResponse float64
+	// Duplicate is the probability the request is delivered twice before
+	// the first response returns (reordering the server's view).
+	Duplicate float64
+	// Delay is added to matching requests before delivery; a Delay
+	// longer than the lease TTL delivers results after re-dispatch.
+	Delay time.Duration
+	// DelayEvery applies Delay only to every k-th matching request
+	// (0 = all of them, when Delay > 0).
+	DelayEvery int
+	// Limit stops injecting after this many faulted requests (0 = no
+	// limit). "Fault the first K, then heal" makes scripted scenarios
+	// deterministic: probability 1 plus a Limit faults exactly K requests.
+	Limit int
+}
+
+// FaultTransport is an http.RoundTripper that injects deterministic
+// network faults — drops, duplicates, delays, partitions — between fleet
+// workers and the gateway. The robustness tests run whole sweeps through
+// it and assert the merged output stays byte-identical to a local run.
+type FaultTransport struct {
+	// Next performs the real delivery (nil = http.DefaultTransport).
+	Next http.RoundTripper
+	// Spec is the fault schedule.
+	Spec FaultSpec
+
+	mu        sync.Mutex
+	rngState  uint64
+	reqCount  int
+	faulted   int
+	partition bool
+	dropped   int
+	dupes     int
+	delayed   int
+}
+
+// SetPartition toggles a full partition: while set, every matching
+// request fails at the transport. Tests heal it mid-run to assert the
+// fleet rides out the outage.
+func (t *FaultTransport) SetPartition(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partition = on
+}
+
+// Stats reports how many requests were dropped, duplicated and delayed —
+// tests assert the schedule actually exercised the fault paths.
+func (t *FaultTransport) Stats() (dropped, duplicated, delayed int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped, t.dupes, t.delayed
+}
+
+func (t *FaultTransport) next() http.RoundTripper {
+	if t.Next != nil {
+		return t.Next
+	}
+	return http.DefaultTransport
+}
+
+// rand draws the next deterministic fraction in [0, 1).
+func (t *FaultTransport) rand() float64 {
+	if t.rngState == 0 {
+		t.rngState = t.Spec.Seed | 1
+	}
+	// splitmix64 step (kept local: the harness version is unexported).
+	t.rngState += 0x9e3779b97f4a7c15
+	x := t.rngState
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// RoundTrip applies the fault schedule to one request. Requests need
+// replayable bodies for the duplicate path, so bodies are buffered.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Spec.PathPrefix != "" && !strings.HasPrefix(req.URL.Path, t.Spec.PathPrefix) {
+		return t.next().RoundTrip(req)
+	}
+
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	clone := func() *http.Request {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return r
+	}
+
+	t.mu.Lock()
+	t.reqCount++
+	n := t.reqCount
+	partitioned := t.partition
+	var dropReq, dropResp, dup, delay bool
+	if t.Spec.Limit <= 0 || t.faulted < t.Spec.Limit {
+		dropReq = t.rand() < t.Spec.DropRequest
+		dropResp = t.rand() < t.Spec.DropResponse
+		dup = t.rand() < t.Spec.Duplicate
+		delay = t.Spec.Delay > 0 && (t.Spec.DelayEvery <= 0 || n%t.Spec.DelayEvery == 0)
+		if dropReq || dropResp || dup || delay {
+			t.faulted++
+		}
+	}
+	switch {
+	case partitioned || dropReq:
+		t.dropped++
+	case dup:
+		t.dupes++
+	}
+	if delay && !partitioned && !dropReq {
+		t.delayed++
+	}
+	t.mu.Unlock()
+
+	if partitioned {
+		return nil, fmt.Errorf("fleet: injected partition: %s %s", req.Method, req.URL.Path)
+	}
+	if dropReq {
+		return nil, fmt.Errorf("fleet: injected request drop: %s %s", req.Method, req.URL.Path)
+	}
+	if delay {
+		timer := time.NewTimer(t.Spec.Delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if dup {
+		// Deliver once ahead of the "real" request and discard the
+		// response: the server sees the request twice.
+		if extra, err := t.next().RoundTrip(clone()); err == nil {
+			io.Copy(io.Discard, extra.Body)
+			extra.Body.Close()
+		}
+	}
+	resp, err := t.next().RoundTrip(clone())
+	if err != nil {
+		return nil, err
+	}
+	if dropResp {
+		// The server processed the request; lose the reply.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("fleet: injected response drop: %s %s", req.Method, req.URL.Path)
+	}
+	return resp, nil
+}

@@ -1,0 +1,97 @@
+package harness_test
+
+import (
+	"testing"
+	"time"
+
+	"tvarak/internal/harness"
+)
+
+func TestBackoffPolicyZeroValueNeverPauses(t *testing.T) {
+	var p harness.BackoffPolicy
+	for a := -1; a <= 8; a++ {
+		if d := p.Delay(a); d != 0 {
+			t.Fatalf("zero policy Delay(%d) = %v, want 0", a, d)
+		}
+	}
+}
+
+func TestBackoffPolicyExactExponentialSchedule(t *testing.T) {
+	p := harness.BackoffPolicy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		0,                     // attempt 0: not a retry
+		10 * time.Millisecond, // 1
+		20 * time.Millisecond, // 2
+		40 * time.Millisecond, // 3
+		80 * time.Millisecond, // 4: hits the cap
+		80 * time.Millisecond, // 5: pinned at the cap
+		80 * time.Millisecond, // 6
+	}
+	for a, w := range want {
+		if d := p.Delay(a); d != w {
+			t.Errorf("Delay(%d) = %v, want %v", a, d, w)
+		}
+	}
+}
+
+func TestBackoffPolicyDefaultCapIs32xBase(t *testing.T) {
+	p := harness.BackoffPolicy{Base: time.Millisecond}
+	if d := p.Delay(40); d != 32*time.Millisecond {
+		t.Fatalf("Delay(40) with Max=0 = %v, want %v", d, 32*time.Millisecond)
+	}
+}
+
+func TestBackoffPolicyHugeAttemptDoesNotOverflow(t *testing.T) {
+	p := harness.BackoffPolicy{Base: time.Second, Max: time.Hour}
+	for _, a := range []int{62, 63, 64, 1000, 1 << 30} {
+		if d := p.Delay(a); d != time.Hour {
+			t.Fatalf("Delay(%d) = %v, want the cap (%v)", a, d, time.Hour)
+		}
+	}
+}
+
+func TestBackoffPolicyJitterBoundedAndDeterministic(t *testing.T) {
+	p := harness.BackoffPolicy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: 0.25, Seed: 7}
+	exact := harness.BackoffPolicy{Base: p.Base, Max: p.Max}
+	sawShortened := false
+	for a := 1; a <= 8; a++ {
+		d := p.Delay(a)
+		full := exact.Delay(a)
+		lo := time.Duration(float64(full) * (1 - 0.25))
+		if d < lo || d > full {
+			t.Fatalf("Delay(%d) = %v, want within [%v, %v]", a, d, lo, full)
+		}
+		if d < full {
+			sawShortened = true
+		}
+		if again := p.Delay(a); again != d {
+			t.Fatalf("Delay(%d) not deterministic: %v then %v", a, d, again)
+		}
+	}
+	if !sawShortened {
+		t.Error("jitter 0.25 never shortened any delay across 8 attempts")
+	}
+	// A different seed yields a different schedule somewhere.
+	other := p
+	other.Seed = 8
+	differs := false
+	for a := 1; a <= 8; a++ {
+		if other.Delay(a) != p.Delay(a) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("seeds 7 and 8 produced identical jitter schedules")
+	}
+}
+
+func TestBackoffPolicyJitterClamped(t *testing.T) {
+	base := 10 * time.Millisecond
+	for _, j := range []float64{-3, 0, 2.5} {
+		p := harness.BackoffPolicy{Base: base, Jitter: j, Seed: 1}
+		if d := p.Delay(1); d < 0 || d > base {
+			t.Errorf("Jitter=%v Delay(1) = %v, want within [0, %v]", j, d, base)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package harness_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tvarak/internal/harness"
+)
+
+func TestJournalHeaderCarriesFormatAndScope(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := harness.NewJournalScope(path, "exp|scale=2|full=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("cell", "fp0", map[string]int{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Format() != harness.JournalFormat || j.Scope() != "exp|scale=2|full=true" {
+		t.Fatalf("fresh journal Format=%d Scope=%q", j.Format(), j.Scope())
+	}
+	if j.Appended() != 1 {
+		t.Fatalf("Appended = %d, want 1 (the header is metadata, not a record)", j.Appended())
+	}
+	j.Close()
+
+	j2, err := harness.OpenJournalScope(path, "exp|scale=2|full=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Format() != harness.JournalFormat || j2.Scope() != "exp|scale=2|full=true" {
+		t.Errorf("reopened journal Format=%d Scope=%q", j2.Format(), j2.Scope())
+	}
+	if j2.Restored() != 1 || j2.CorruptLines() != 0 {
+		t.Errorf("Restored=%d CorruptLines=%d, want 1 and 0 (header excluded)", j2.Restored(), j2.CorruptLines())
+	}
+}
+
+func TestOpenJournalScopeRejectsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := harness.NewJournalScope(path, "exp|scale=1|full=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, err = harness.OpenJournalScope(path, "exp|scale=2|full=false")
+	if err == nil {
+		t.Fatal("scope mismatch accepted, want an error")
+	}
+	if !strings.Contains(err.Error(), "scale=1") || !strings.Contains(err.Error(), "scale=2") {
+		t.Errorf("mismatch error does not name both scopes: %v", err)
+	}
+}
+
+func TestOpenJournalScopeToleratesLegacyAndUnscoped(t *testing.T) {
+	dir := t.TempDir()
+
+	// Legacy: a pre-header journal is just records, no header line.
+	legacy := filepath.Join(dir, "legacy.journal")
+	line, err := harness.EncodeRecord("cell", "fp0", map[string]int{"n": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legacy, append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := harness.OpenJournalScope(legacy, "exp|scale=1|full=false")
+	if err != nil {
+		t.Fatalf("legacy header-less journal rejected: %v", err)
+	}
+	if j.Format() != 0 || j.Scope() != "" || j.Restored() != 1 {
+		t.Errorf("legacy journal Format=%d Scope=%q Restored=%d, want 0 / empty / 1", j.Format(), j.Scope(), j.Restored())
+	}
+	j.Close()
+
+	// Unscoped header (NewJournal): any scope may open it.
+	unscoped := filepath.Join(dir, "unscoped.journal")
+	j2, err := harness.NewJournal(unscoped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := harness.OpenJournalScope(unscoped, "exp|scale=1|full=false")
+	if err != nil {
+		t.Fatalf("unscoped journal rejected: %v", err)
+	}
+	j3.Close()
+}
+
+func TestOpenJournalRejectsNewerFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.journal")
+	line, err := harness.EncodeRecord("journal-header", "", map[string]any{"format": harness.JournalFormat + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(line, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = harness.OpenJournal(path)
+	if err == nil {
+		t.Fatal("journal from a newer build accepted, want an error")
+	}
+	if !strings.Contains(err.Error(), "newer") {
+		t.Errorf("error does not explain the version skew: %v", err)
+	}
+}
+
+func TestEncodeDecodeRecordRoundTrip(t *testing.T) {
+	type payload struct {
+		Label string `json:"label"`
+		N     int    `json:"n"`
+	}
+	in := payload{Label: "redis/Tvarak", N: 42}
+	line, err := harness.EncodeRecord("cell", "fp42", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, fp, data, err := harness.DecodeRecord(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "cell" || fp != "fp42" {
+		t.Fatalf("decoded (%q, %q), want (cell, fp42)", kind, fp)
+	}
+	var out payload
+	if err := json.Unmarshal(data, &out); err != nil || out != in {
+		t.Fatalf("payload round-trip = %+v (err %v), want %+v", out, err, in)
+	}
+
+	// A wire line from an incompatible build must be refused, not guessed at.
+	if _, _, _, err := harness.DecodeRecord([]byte(`{"v":99,"kind":"cell","fp":"x"}`)); err == nil {
+		t.Error("wrong-version record decoded without error")
+	}
+	if _, _, _, err := harness.DecodeRecord([]byte("not json")); err == nil {
+		t.Error("garbage line decoded without error")
+	}
+}
+
+func TestRecordRawPreservesBytesAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "raw.journal")
+	j, err := harness.NewJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := json.RawMessage(`{"label":"stream/Vilamb","n":3}`)
+	if err := j.RecordRaw("cell", "fpR", raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.LookupRaw("cell", "fpR"); !bytes.Equal(got, raw) {
+		t.Fatalf("LookupRaw = %s, want %s", got, raw)
+	}
+	if j.LookupRaw("cell", "missing") != nil {
+		t.Error("LookupRaw on a missing record is non-nil")
+	}
+	j.Close()
+
+	j2, err := harness.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.LookupRaw("cell", "fpR"); !bytes.Equal(got, raw) {
+		t.Fatalf("after reopen LookupRaw = %s, want %s", got, raw)
+	}
+}

@@ -151,11 +151,11 @@ func TestJournalToleratesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
-	if len(lines) != n {
-		t.Fatalf("journal has %d lines, want %d", len(lines), n)
+	if len(lines) != n+1 { // header record + n cell records
+		t.Fatalf("journal has %d lines, want %d", len(lines), n+1)
 	}
-	last := lines[n-1]
-	torn := append(bytes.Join(lines[:n-1], []byte("\n")), '\n')
+	last := lines[n]
+	torn := append(bytes.Join(lines[:n], []byte("\n")), '\n')
 	torn = append(torn, last[:len(last)/2]...)
 	if err := os.WriteFile(path, torn, 0o644); err != nil {
 		t.Fatal(err)
@@ -228,10 +228,10 @@ func TestJournalTornTailEveryOffset(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := bytes.SplitAfter(data, []byte("\n"))
-	if len(lines) < 3 {
-		t.Fatalf("journal has %d lines, want 3", len(lines))
+	if len(lines) < 4 { // header record + 3 unit records
+		t.Fatalf("journal has %d lines, want 4", len(lines))
 	}
-	lastLine := lines[2]
+	lastLine := lines[3]
 	start := len(data) - len(lastLine) // offset where the final record begins
 
 	expectPayload := func(t *testing.T, j *harness.Journal, fp string) {
@@ -435,7 +435,14 @@ func TestRunnerRetriesTransientFailures(t *testing.T) {
 			return &toyWorkload{name: "flaky", stores: 50}
 		},
 	}}
-	rs, man, err := harness.Runner{Workers: 1, Retries: 2}.RunManifest(cells)
+	// A real backoff policy (seeded jitter, exponential, capped) must stay
+	// wall-clock-only: the retried cell's simulated result is the same as
+	// with zero backoff.
+	rn := harness.Runner{
+		Workers: 1, Retries: 2,
+		Backoff: harness.BackoffPolicy{Base: time.Millisecond, Max: 4 * time.Millisecond, Jitter: 0.5, Seed: 42},
+	}
+	rs, man, err := rn.RunManifest(cells)
 	if err != nil {
 		t.Fatal(err)
 	}

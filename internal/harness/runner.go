@@ -225,9 +225,12 @@ type Runner struct {
 	// Retries is how many extra attempts a failing cell gets before it
 	// counts as failed. Hung and cancelled cells are never retried.
 	Retries int
-	// Backoff is the pause before retry attempt k, scaled linearly
-	// (k*Backoff). Zero retries immediately.
-	Backoff time.Duration
+	// Backoff schedules the pause before each retry attempt:
+	// seeded-jitter exponential growth from Base capped at Max (the fleet
+	// gateway's redelivery loop shares the same policy). The zero value
+	// retries immediately. Backoff is wall-clock-only — it never changes
+	// a cell's simulated result.
+	Backoff BackoffPolicy
 	// Degrade keeps the run going past exhausted cells: instead of
 	// aborting, the failed cell yields a placeholder Result whose Failure
 	// field is set (tables render it as an explicit hole) plus a
@@ -373,7 +376,7 @@ func (rn Runner) RunManifest(cells []Cell) ([]*Result, *Manifest, error) {
 		case out.fail != nil:
 			man.Failures = append(man.Failures, *out.fail)
 			if rn.Degrade {
-				results[i] = failureResult(cells[i], i, out.fail)
+				results[i] = FailureResult(cells[i], i, out.fail)
 			}
 		case out.cancelled:
 			man.Interrupted = append(man.Interrupted, i)
@@ -525,13 +528,15 @@ func (rn Runner) runCell(i int, c Cell) cellOutcome {
 	}
 }
 
-// backoff pauses a*Backoff before retry attempt a+1, abandoning the wait
-// (and reporting false) if the run is cancelled meanwhile.
+// backoff pauses for the policy's attempt-a delay before retry attempt
+// a+1, abandoning the wait (and reporting false) if the run is cancelled
+// meanwhile.
 func (rn Runner) backoff(a int) bool {
-	if rn.Backoff <= 0 {
+	d := rn.Backoff.Delay(a)
+	if d <= 0 {
 		return rn.ctxErr() == nil
 	}
-	t := time.NewTimer(time.Duration(a) * rn.Backoff)
+	t := time.NewTimer(d)
 	defer t.Stop()
 	var done <-chan struct{}
 	if rn.Context != nil {
@@ -645,6 +650,11 @@ func safeName(c Cell, i int) (name string) {
 	return n
 }
 
+// CellLabel is the cell's display label (workload/design[variant]),
+// tolerating a panicking workload factory. The fleet uses it to name
+// leases in status output and failure manifests.
+func CellLabel(c Cell, i int) string { return safeLabel(c, i) }
+
 // safeLabel is the cell's display label: workload/design[variant].
 func safeLabel(c Cell, i int) string {
 	l := safeName(c, i) + "/" + c.Config.Design.String()
@@ -654,10 +664,11 @@ func safeLabel(c Cell, i int) string {
 	return l
 }
 
-// failureResult synthesizes the degraded-mode placeholder for a failed
+// FailureResult synthesizes the degraded-mode placeholder for a failed
 // cell: a Result with the cell's labels, zero statistics, and Failure set,
-// which tables render as an explicit hole.
-func failureResult(c Cell, i int, f *CellFailure) *Result {
+// which tables render as an explicit hole. The fleet gateway uses it to
+// render redelivery-exhausted cells exactly like a local Degrade run.
+func FailureResult(c Cell, i int, f *CellFailure) *Result {
 	reason := f.Err
 	if f.Hung {
 		reason = "hung: " + reason

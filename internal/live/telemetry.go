@@ -34,6 +34,24 @@ type FaultMetrics struct {
 	Recovered *Counter // corruptions recovered
 }
 
+// FleetMetrics counts the distributed sweep fleet's control-plane events
+// on the gateway (lease lifecycle, redelivery, result dedup) plus worker
+// liveness. All values are wall-clock operational telemetry — none feed
+// results, which stay byte-identical with or without a fleet.
+type FleetMetrics struct {
+	LeasesGranted     *Counter // leases handed to workers (including redeliveries)
+	LeasesExpired     *Counter // leases whose deadline passed without a result or heartbeat
+	LeasesRedelivered *Counter // expired/failed units re-dispatched to another worker
+	Heartbeats        *Counter // heartbeats accepted (lease deadlines extended)
+	ResultsAccepted   *Counter // first result accepted per unit
+	ResultsDuplicate  *Counter // duplicate results byte-verified against the accepted one
+	ResultsDivergent  *Counter // duplicate results whose bytes differed (determinism violation)
+	WorkersJoined     *Counter // workers that passed the version/scope handshake
+	WorkersRejected   *Counter // workers refused at the handshake (version/scope skew)
+	WorkersLive       *Gauge   // workers with an unexpired lease or recent heartbeat
+	UnitsFailed       *Counter // units terminally failed after redelivery was exhausted
+}
+
 // ResourceMetrics mirrors the most recent resource sample as gauges so the
 // /metrics endpoint exposes what the JSONL ledger records.
 type ResourceMetrics struct {
@@ -51,6 +69,7 @@ type Telemetry struct {
 	Runner   RunnerMetrics
 	Engine   EngineMetrics
 	Fault    FaultMetrics
+	Fleet    FleetMetrics
 	Resource ResourceMetrics
 	Board    *Board
 }
@@ -92,6 +111,29 @@ func NewTelemetry() *Telemetry {
 		"Injected corruptions detected by the design under test.")
 	t.Fault.Recovered = r.NewCounter("tvarak_fault_injections_recovered_total",
 		"Injected corruptions recovered by the design under test.")
+
+	t.Fleet.LeasesGranted = r.NewCounter("tvarak_fleet_leases_granted_total",
+		"Cell leases handed to fleet workers, redeliveries included.")
+	t.Fleet.LeasesExpired = r.NewCounter("tvarak_fleet_leases_expired_total",
+		"Leases whose deadline passed without a result or heartbeat.")
+	t.Fleet.LeasesRedelivered = r.NewCounter("tvarak_fleet_leases_redelivered_total",
+		"Expired or failed units re-dispatched to another worker.")
+	t.Fleet.Heartbeats = r.NewCounter("tvarak_fleet_heartbeats_total",
+		"Worker heartbeats accepted (lease deadlines extended).")
+	t.Fleet.ResultsAccepted = r.NewCounter("tvarak_fleet_results_accepted_total",
+		"First result accepted per unit.")
+	t.Fleet.ResultsDuplicate = r.NewCounter("tvarak_fleet_results_duplicate_total",
+		"Duplicate results byte-verified against the accepted one.")
+	t.Fleet.ResultsDivergent = r.NewCounter("tvarak_fleet_results_divergent_total",
+		"Duplicate results whose bytes differed from the accepted one (determinism violation).")
+	t.Fleet.WorkersJoined = r.NewCounter("tvarak_fleet_workers_joined_total",
+		"Workers that passed the version/scope handshake.")
+	t.Fleet.WorkersRejected = r.NewCounter("tvarak_fleet_workers_rejected_total",
+		"Workers refused at the handshake for version or scope skew.")
+	t.Fleet.WorkersLive = r.NewGauge("tvarak_fleet_workers_live",
+		"Workers with an unexpired lease or recent heartbeat.")
+	t.Fleet.UnitsFailed = r.NewCounter("tvarak_fleet_units_failed_total",
+		"Units terminally failed after redelivery was exhausted.")
 
 	t.Resource.HeapAlloc = r.NewGauge("tvarak_resource_heap_alloc_bytes",
 		"Live heap bytes at the last resource sample.")

@@ -226,6 +226,22 @@ func NewRunJournal(path string) (*RunJournal, error) { return harness.NewJournal
 // lines (a crash mid-write) are skipped, never fatal.
 func ResumeRunJournal(path string) (*RunJournal, error) { return harness.OpenJournal(path) }
 
+// NewScopedRunJournal is NewRunJournal with the run's scope — the
+// experiment/campaign id plus every option that shapes its cells — stamped
+// into the journal's header record.
+func NewScopedRunJournal(path, scope string) (*RunJournal, error) {
+	return harness.NewJournalScope(path, scope)
+}
+
+// ResumeScopedRunJournal is ResumeRunJournal plus the scope handshake: a
+// journal written under different options is rejected with an error naming
+// both scopes, instead of the resume silently restoring nothing because
+// every fingerprint misses. Legacy header-less journals and empty scopes
+// are tolerated.
+func ResumeScopedRunJournal(path, scope string) (*RunJournal, error) {
+	return harness.OpenJournalScope(path, scope)
+}
+
 // Experiments lists the registry reproducing every table and figure.
 func Experiments() []Experiment { return experiments.Experiments() }
 
