@@ -50,11 +50,14 @@ echo "== go test -race (parallel harness gate) =="
 # fleet: the gateway's lease table and drain path are hit by concurrent
 # worker goroutines (and its tests run whole in-process fleets through a
 # fault-injecting transport).
+# swred: the async (Vilamb-family) daemon passes run on dedicated daemon
+# cores concurrently with foreground mutators; the dirty-set property
+# suite and epoch-aware verdict paths must hold under the race detector.
 go test -race -timeout 20m ./internal/harness/ ./internal/experiments/ \
     ./internal/sim/ ./internal/core/ ./internal/fault/ ./internal/obs/ \
     ./internal/cache/ ./internal/nvm/ ./internal/xsum/ ./internal/geom/ \
     ./internal/pmem/ ./internal/live/ ./internal/soak/ ./internal/fleet/ \
-    ./cmd/tvarak-soak/ ./tools/soakcheck/ .
+    ./internal/swred/ ./cmd/tvarak-soak/ ./tools/soakcheck/ .
 
 echo "== coverage floor (core + sim + fault + harness + fleet) =="
 # Combined statement coverage of the central simulation packages plus the
@@ -251,5 +254,44 @@ grep -Eq '"redelivered": *[1-9]' "$tmp/fleet-summary.json" || {
 }
 cmp "$tmp/clean.json" "$tmp/fleet.json"
 diff <(grep -v '^# ' "$tmp/clean.txt") <(grep -v '^# ' "$tmp/fleet.txt")
+
+echo "== vilamb fleet sweep gate =="
+# The async-family reduced sweep (ext-async-mini: Baseline/TVARAK anchors
+# plus epoch x granularity x battery Vilamb points, DESIGN.md §13) through
+# the same kill-a-worker fleet: the async axes must survive the JobSpec
+# round-trip and lease redelivery, and the merged table, both derived
+# figure panels, and the export must come out byte-identical to a local
+# tvarak-sim run of the same grid.
+async=(-exp ext-async-mini -scale 0.02)
+"$tmp/tvarak-sim" "${async[@]}" -metrics-out "$tmp/async-clean.json" >"$tmp/async-clean.txt"
+"$tmp/tvarak-gateway" "${async[@]}" \
+    -listen 127.0.0.1:0 -addr-file "$tmp/agw.addr" \
+    -lease-ttl 2s -redeliver-backoff 100ms \
+    -journal "$tmp/async-fleet.journal" -summary-file "$tmp/async-summary.json" \
+    -metrics-out "$tmp/async-fleet.json" >"$tmp/async-fleet.txt" 2>/dev/null &
+gwpid=$!
+gwaddr=""
+for _ in $(seq 1 100); do
+    if [ -s "$tmp/agw.addr" ]; then gwaddr=$(cat "$tmp/agw.addr"); break; fi
+    sleep 0.05
+done
+if [ -z "$gwaddr" ]; then
+    echo "vilamb fleet gate: gateway address never appeared in $tmp/agw.addr" >&2
+    exit 1
+fi
+"$tmp/tvarak-worker" -gateway "http://$gwaddr" -name victim \
+    -acquire-delay 5s >/dev/null 2>&1 &
+victim=$!
+sleep 1
+kill -9 "$victim" 2>/dev/null || true
+"$tmp/tvarak-worker" -gateway "http://$gwaddr" -name survivor -slots 2 2>/dev/null
+wait "$gwpid"
+grep -Eq '"redelivered": *[1-9]' "$tmp/async-summary.json" || {
+    echo "vilamb fleet gate: no redelivery after SIGKILLing a worker:" >&2
+    cat "$tmp/async-summary.json" >&2
+    exit 1
+}
+cmp "$tmp/async-clean.json" "$tmp/async-fleet.json"
+diff <(grep -v '^# ' "$tmp/async-clean.txt") <(grep -v '^# ' "$tmp/async-fleet.txt")
 
 echo "ci.sh: all checks passed"

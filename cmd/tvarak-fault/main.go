@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +40,11 @@ func main() {
 	campaign := flag.Bool("campaign", false, "run the oracle-judged fault-injection campaign instead of the demo scenarios")
 	seed := flag.Int64("seed", 1, "campaign seed (same seed: byte-identical report)")
 	n := flag.Int("n", 112, "campaign injections per design, split across the applications")
+	designs := flag.String("designs", "", "comma-separated campaign designs (baseline,tvarak,vilamb; empty = baseline+tvarak)")
+	epochCyc := flag.Uint64("epoch", 0, "async (vilamb) epoch interval in cycles for campaign units (0 = the design default)")
+	dirtyGran := flag.String("dirty-gran", "", "async dirty-tracking granularity for campaign units: page, line or range")
+	battery := flag.Bool("battery", false, "async battery-backed-DRAM preset for campaign units (zero vulnerability window)")
+	incremental := flag.Bool("incremental", false, "incremental (sub-sliced) async reconciliation for campaign units")
 	report := flag.String("report", "", "write the campaign's JSONL report to this path (- for stdout)")
 	workers := flag.Int("workers", 0, "concurrent campaign units (0 = one per CPU)")
 	shrink := flag.Bool("shrink", true, "minimize the injection schedule of any failing unit")
@@ -85,7 +91,11 @@ func main() {
 
 	var err error
 	if *campaign {
-		err = runCampaign(*seed, *n, *workers, *shrink, *report, *journalPath, *resume, lt)
+		opt, oerr := campaignOptions(*seed, *n, *workers, *shrink, *designs, *epochCyc, *dirtyGran, *battery, *incremental)
+		if oerr != nil {
+			fatal(oerr)
+		}
+		err = runCampaign(opt, *report, *journalPath, *resume, lt)
 	} else {
 		err = run(*traceOut)
 	}
@@ -118,7 +128,40 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runCampaign(seed int64, n, workers int, shrink bool, report, journalPath string, resume bool, lt *tvarak.LiveTelemetry) error {
+// campaignOptions assembles the campaign's options from the CLI flags,
+// validating design and granularity names up front.
+func campaignOptions(seed int64, n, workers int, shrink bool, designs string, epochCyc uint64, dirtyGran string, battery, incremental bool) (tvarak.FaultCampaignOptions, error) {
+	opt := tvarak.FaultCampaignOptions{Seed: seed, N: n, Workers: workers, Shrink: shrink}
+	for _, tok := range strings.Split(designs, ",") {
+		switch strings.TrimSpace(strings.ToLower(tok)) {
+		case "":
+		case "baseline":
+			opt.Designs = append(opt.Designs, tvarak.DesignBaseline)
+		case "tvarak":
+			opt.Designs = append(opt.Designs, tvarak.DesignTvarak)
+		case "txb-object", "txb-object-csums":
+			opt.Designs = append(opt.Designs, tvarak.DesignTxBObjectCsums)
+		case "txb-page", "txb-page-csums":
+			opt.Designs = append(opt.Designs, tvarak.DesignTxBPageCsums)
+		case "vilamb":
+			opt.Designs = append(opt.Designs, tvarak.DesignVilamb)
+		default:
+			return opt, fmt.Errorf("unknown design %q", tok)
+		}
+	}
+	g, err := tvarak.ParseDirtyGran(dirtyGran)
+	if err != nil {
+		return opt, err
+	}
+	opt.Async = tvarak.AsyncConfig{EpochCyc: epochCyc, DirtyGran: g, Incremental: incremental}
+	if battery {
+		opt.Async = tvarak.BatteryBackedPreset(epochCyc)
+		opt.Async.Incremental = incremental
+	}
+	return opt, nil
+}
+
+func runCampaign(opt tvarak.FaultCampaignOptions, report, journalPath string, resume bool, lt *tvarak.LiveTelemetry) error {
 	// SIGINT/SIGTERM cancel the campaign cooperatively: finished units are
 	// kept (and journaled when -journal is set), the partial report is
 	// still written, and Run returns an interruption error.
@@ -133,7 +176,7 @@ func runCampaign(seed int64, n, workers int, shrink bool, report, journalPath st
 		// Scope the journal to the campaign's shape — the same string the
 		// fleet's CampaignPlan uses, so a gateway journal and a local one
 		// are interchangeable — and reject -resume across skewed options.
-		scope := fmt.Sprintf("fault-campaign|seed=%d|n=%d|apps=", seed, n)
+		scope := opt.Scope()
 		var err error
 		if resume {
 			journal, err = tvarak.ResumeScopedRunJournal(journalPath, scope)
@@ -150,19 +193,19 @@ func runCampaign(seed int64, n, workers int, shrink bool, report, journalPath st
 		}
 	}
 
-	fmt.Printf("fault campaign: seed=%d injections=%d apps=%v\n", seed, n, tvarak.FaultCampaignApps())
-	rep, runErr := tvarak.RunFaultCampaign(tvarak.FaultCampaignOptions{
-		Seed: seed, N: n, Workers: workers, Shrink: shrink,
-		Context: ctx, Journal: journal, Live: lt,
-		Progress: func(done, total int, u *tvarak.FaultUnitReport) {
-			status := "ok"
-			if u.Failure != "" {
-				status = "FAIL: " + u.Failure
-			}
-			fmt.Printf("  [%2d/%d] %-16s fired=%-3d detected=%-3d recovered=%-3d silent=%-3d %s\n",
-				done, total, u.Label(), u.Fired, u.Detections, u.Recoveries, u.SilentCorruptions, status)
-		},
-	})
+	fmt.Printf("fault campaign: seed=%d injections=%d apps=%v\n", opt.Seed, opt.N, tvarak.FaultCampaignApps())
+	opt.Context = ctx
+	opt.Journal = journal
+	opt.Live = lt
+	opt.Progress = func(done, total int, u *tvarak.FaultUnitReport) {
+		status := "ok"
+		if u.Failure != "" {
+			status = "FAIL: " + u.Failure
+		}
+		fmt.Printf("  [%2d/%d] %-16s fired=%-3d detected=%-3d recovered=%-3d silent=%-3d %s\n",
+			done, total, u.Label(), u.Fired, u.Detections, u.Recoveries, u.SilentCorruptions, status)
+	}
+	rep, runErr := tvarak.RunFaultCampaign(opt)
 	if rep != nil {
 		if report != "" {
 			var w io.Writer = os.Stdout
@@ -186,7 +229,7 @@ func runCampaign(seed int64, n, workers int, shrink bool, report, journalPath st
 		if rep.Interrupted > 0 {
 			hint := "re-run to finish"
 			if journal != nil {
-				hint = fmt.Sprintf("resume with: tvarak-fault -campaign -seed %d -n %d -resume -journal %s", seed, n, journal.Path())
+				hint = fmt.Sprintf("resume with: tvarak-fault -campaign -seed %d -n %d -resume -journal %s", opt.Seed, opt.N, journal.Path())
 			}
 			fmt.Fprintf(os.Stderr, "tvarak-fault: interrupted — %d unit(s) not run; %s\n", rep.Interrupted, hint)
 		}

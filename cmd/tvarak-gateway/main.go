@@ -60,6 +60,11 @@ func main() {
 		sampleEvery = flag.Uint64("sample-every", 0, "epoch length in cycles for per-run time series in the export (0 = aggregates only)")
 		shards      = flag.Int("shards", 1, "OS threads sharing each cell's weave phase on the workers")
 
+		epochCyc    = flag.Uint64("epoch", 0, "async (vilamb-family) epoch interval in cycles (0 = the design default)")
+		dirtyGran   = flag.String("dirty-gran", "", "async dirty-tracking granularity: page, line or range (default page)")
+		battery     = flag.Bool("battery", false, "async battery-backed-DRAM preset (line-granular staged intent checksums, zero vulnerability window)")
+		incremental = flag.Bool("incremental", false, "spread each async epoch's reconciliation across sub-slices instead of one batched pass")
+
 		campaign = flag.Bool("campaign", false, "distribute the oracle-judged fault-injection campaign instead of a sweep")
 		seed     = flag.Int64("seed", 1, "campaign seed (same seed: byte-identical report)")
 		n        = flag.Int("n", 112, "campaign injections per design, split across the applications")
@@ -90,6 +95,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	spec.EpochCyc, spec.DirtyGran = *epochCyc, *dirtyGran
+	spec.Battery, spec.Incremental = *battery, *incremental
 	plan, err := fleet.BuildPlan(spec)
 	if err != nil {
 		fatal(err)
@@ -222,7 +229,11 @@ func buildSpec(campaign bool, exp string, scale float64, full bool, designs stri
 		if exp != "" {
 			return fleet.JobSpec{}, fmt.Errorf("-campaign and -exp are mutually exclusive")
 		}
-		return fleet.JobSpec{Kind: "campaign", Seed: seed, N: n, Apps: splitComma(apps)}, nil
+		names, err := designNames(designs)
+		if err != nil {
+			return fleet.JobSpec{}, err
+		}
+		return fleet.JobSpec{Kind: "campaign", Seed: seed, N: n, Apps: splitComma(apps), Designs: names}, nil
 	}
 	if exp == "" {
 		return fleet.JobSpec{}, fmt.Errorf("-exp required (one experiment id per job; see tvarak-sim -list)")
@@ -306,11 +317,16 @@ func mergeSweep(sp *fleet.SweepPlan, spec fleet.JobSpec, payloads []json.RawMess
 	// byte-comparison consumers (ci.sh strips `^# `), matching tvarak-sim.
 	fmt.Printf("# %s (%s) — merged from fleet\n", e.ID, e.Paper)
 	fmt.Println(tab)
+	figs := experiments.AsyncFigures(tab)
+	for _, f := range figs {
+		fmt.Println(f)
+	}
 	if metricsOut != "" {
 		// Tool is "tvarak-sim", not "tvarak-gateway": the export must be
 		// byte-identical to a single-machine run of the same options.
 		export := obs.NewExport("tvarak-sim")
 		export.Runs = append(export.Runs, tab.ExportRuns(e.ID)...)
+		export.Figures = append(export.Figures, figs...)
 		if err := writeExport(export, metricsOut); err != nil {
 			return err
 		}

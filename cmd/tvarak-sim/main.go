@@ -55,15 +55,20 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (or 'all'); see -list")
-		list     = flag.Bool("list", false, "list experiment ids")
-		scale    = flag.Float64("scale", 1.0, "multiply measured operation counts")
-		full     = flag.Bool("full", false, "use the paper's full-scale machine (24 MB LLC) instead of the 1/16-scale reproduction machine")
-		designs  = flag.String("designs", "", "comma-separated subset of designs (baseline,tvarak,txb-object,txb-page,vilamb)")
-		jsonOut  = flag.Bool("json", false, "emit one JSON object per run instead of tables")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "max simulation cells running concurrently (1 = sequential; tables are identical at any level)")
-		shards   = flag.Int("shards", 1, "OS threads sharing each cell's weave phase (1 = serial; tables are byte-identical at any level; combine with -parallel 1)")
-		progress = flag.Bool("progress", false, "print per-cell completion, timing and live counters to stderr as cells finish")
+		exp     = flag.String("exp", "", "experiment id (or 'all'); see -list")
+		list    = flag.Bool("list", false, "list experiment ids")
+		scale   = flag.Float64("scale", 1.0, "multiply measured operation counts")
+		full    = flag.Bool("full", false, "use the paper's full-scale machine (24 MB LLC) instead of the 1/16-scale reproduction machine")
+		designs = flag.String("designs", "", "comma-separated subset of designs (baseline,tvarak,txb-object,txb-page,vilamb)")
+
+		epochCyc    = flag.Uint64("epoch", 0, "async (vilamb-family) epoch interval in cycles (0 = the design default); ignored by non-vilamb designs")
+		dirtyGran   = flag.String("dirty-gran", "", "async dirty-tracking granularity: page, line or range (default page)")
+		battery     = flag.Bool("battery", false, "async battery-backed-DRAM preset: line-granular staged intent checksums, zero vulnerability window")
+		incremental = flag.Bool("incremental", false, "spread each async epoch's reconciliation across sub-slices instead of one batched pass")
+		jsonOut     = flag.Bool("json", false, "emit one JSON object per run instead of tables")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "max simulation cells running concurrently (1 = sequential; tables are identical at any level)")
+		shards      = flag.Int("shards", 1, "OS threads sharing each cell's weave phase (1 = serial; tables are byte-identical at any level; combine with -parallel 1)")
+		progress    = flag.Bool("progress", false, "print per-cell completion, timing and live counters to stderr as cells finish")
 
 		metricsOut  = flag.String("metrics-out", "", "write the versioned machine-readable export to this path (CSV when it ends in .csv, JSON otherwise)")
 		traceOut    = flag.String("trace", "", "write a JSONL event trace of every cell's measured run to this path (use -parallel 1 for a deterministic event order)")
@@ -135,6 +140,7 @@ func main() {
 		Scale: *scale, FullScale: *full, Designs: parseDesigns(*designs),
 		Parallel: *parallel, Shards: *shards, SampleEvery: *sampleEvery,
 		Context: ctx, CellTimeout: *cellTimeout, Retries: *retries, Degrade: *keepGoing,
+		Async: parseAsync(*epochCyc, *dirtyGran, *battery, *incremental),
 	}
 
 	// Live telemetry backs both the -ops-addr endpoint and -progress: the
@@ -172,6 +178,9 @@ func main() {
 		// journals are still accepted).
 		scope := fmt.Sprintf("tvarak-sim|exp=%s|scale=%g|full=%t|designs=%s",
 			*exp, *scale, *full, *designs)
+		if a := opts.Async; !a.IsZero() {
+			scope += "|async=" + a.Label()
+		}
 		var err error
 		if *resume {
 			journal, err = tvarak.ResumeScopedRunJournal(*journalPath, scope)
@@ -248,6 +257,8 @@ func main() {
 			fatal(err)
 		}
 		export.Runs = append(export.Runs, tab.ExportRuns(e.ID)...)
+		figs := experiments.AsyncFigures(tab)
+		export.Figures = append(export.Figures, figs...)
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			for _, r := range tab.Results {
@@ -272,6 +283,9 @@ func main() {
 		} else {
 			fmt.Printf("# %s (%s) — simulated in %v\n", e.ID, e.Paper, time.Since(start).Round(time.Millisecond))
 			fmt.Println(tab)
+			for _, f := range figs {
+				fmt.Println(f)
+			}
 		}
 		if m := tab.Manifest; m != nil && !m.Clean() {
 			fmt.Fprintf(os.Stderr, "tvarak-sim: %s %s\n", e.ID, m)
@@ -399,6 +413,22 @@ func readExport(path string) (*obs.Export, error) {
 	}
 	defer f.Close()
 	return obs.ReadJSON(f)
+}
+
+// parseAsync assembles the async-family configuration from the CLI flags,
+// validating the granularity string up front.
+func parseAsync(epoch uint64, gran string, battery, incremental bool) param.AsyncConfig {
+	g, err := param.ParseDirtyGran(gran)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvarak-sim:", err)
+		os.Exit(2)
+	}
+	a := param.AsyncConfig{EpochCyc: epoch, DirtyGran: g, Incremental: incremental}
+	if battery {
+		a = param.BatteryPreset(epoch)
+		a.Incremental = incremental
+	}
+	return a
 }
 
 func parseDesigns(s string) []param.Design {

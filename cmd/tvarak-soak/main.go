@@ -34,6 +34,7 @@ import (
 
 	"tvarak/internal/harness"
 	"tvarak/internal/live"
+	"tvarak/internal/param"
 	"tvarak/internal/soak"
 )
 
@@ -47,6 +48,12 @@ func main() {
 		killAfter  = flag.Duration("kill-after", 30*time.Millisecond, "delay between the worker's start marker and its SIGKILL")
 		gateEvery  = flag.Int("gate-every", 16, "run the resource gates every N units (0 disables)")
 		parallel   = flag.Int("parallel", 0, "concurrent units (0 = one per CPU)")
+		designs    = flag.String("designs", "", "restrict the sampled design rotation (comma-separated; empty = all designs)")
+		epochCyc   = flag.Uint64("epoch", 0, "pin the async (vilamb) epoch interval in cycles (needs -pin-async)")
+		dirtyGran  = flag.String("dirty-gran", "", "pin the async dirty-tracking granularity: page, line or range (needs -pin-async)")
+		battery    = flag.Bool("battery", false, "pin the async battery-backed-DRAM preset (needs -pin-async)")
+		increm     = flag.Bool("incremental", false, "pin incremental async reconciliation (needs -pin-async)")
+		pinAsync   = flag.Bool("pin-async", false, "pin every vilamb unit to the -epoch/-dirty-gran/-battery/-incremental config instead of rotating the async axes")
 		ledger     = flag.String("ledger", "soak.jsonl", "append one fsync'd JSONL line per unit to this soak ledger")
 		workdir    = flag.String("workdir", "", "scratch dir for chaos journals/reports (default: a temp dir, removed on success)")
 		journal    = flag.String("journal", "", "checkpoint finished units durably to this journal; resume with -resume")
@@ -138,6 +145,27 @@ func main() {
 		FailFast:      *failFast,
 		Progress:      printProgress,
 	}
+	if *designs != "" {
+		opts, err := soak.ParseSamplerArgs(*designs, "-")
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Designs = opts.Designs
+	}
+	if *pinAsync {
+		g, err := param.ParseDirtyGran(*dirtyGran)
+		if err != nil {
+			fatal(err)
+		}
+		a := param.AsyncConfig{EpochCyc: *epochCyc, DirtyGran: g, Incremental: *increm}
+		if *battery {
+			a = param.BatteryPreset(*epochCyc)
+			a.Incremental = *increm
+		}
+		cfg.Async = &a
+	} else if *epochCyc != 0 || *dirtyGran != "" || *battery || *increm {
+		fatal(errors.New("-epoch/-dirty-gran/-battery/-incremental pin the async axis; add -pin-async to confirm"))
+	}
 	if *resume && *journal == "" {
 		fatal(errors.New("-resume requires -journal"))
 	}
@@ -180,16 +208,17 @@ func main() {
 // same binary with the chaos-protocol positionals and watches stdout for
 // the soak markers.
 func runWorker(args []string) {
-	if len(args) != 5 {
-		fatal(fmt.Errorf("-chaos-worker wants 5 args (master index journal out resume), got %d", len(args)))
+	if len(args) != 7 {
+		fatal(fmt.Errorf("-chaos-worker wants 7 args (master index journal out resume designs async), got %d", len(args)))
 	}
 	master, err1 := strconv.ParseInt(args[0], 10, 64)
 	index, err2 := strconv.Atoi(args[1])
 	resume, err3 := strconv.ParseBool(args[4])
-	if err1 != nil || err2 != nil || err3 != nil {
+	opts, err4 := soak.ParseSamplerArgs(args[5], args[6])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 		fatal(fmt.Errorf("-chaos-worker: bad args %q", args))
 	}
-	if err := soak.RunWorker(os.Stdout, master, index, args[2], args[3], resume); err != nil {
+	if err := soak.RunWorker(os.Stdout, master, index, args[2], args[3], resume, opts); err != nil {
 		fatal(err)
 	}
 }

@@ -63,9 +63,10 @@ func Default(p Pattern, write bool) Config {
 
 // Workload implements harness.Workload.
 type Workload struct {
-	Cfg Config
-	m   *daxfs.DaxMap
-	raw *swred.RawScheme
+	Cfg   Config
+	m     *daxfs.DaxMap
+	raw   *swred.RawScheme
+	async *swred.Vilamb
 }
 
 // New returns the workload.
@@ -98,6 +99,8 @@ func (w *Workload) Setup(s *harness.System) error {
 		if err != nil {
 			return err
 		}
+	case param.Vilamb:
+		w.async = s.Async(m)
 	}
 	// Prefill with a raw pattern (setup, untimed) and rebuild redundancy.
 	if err := prefill(s, m); err != nil {
@@ -152,6 +155,9 @@ func (w *Workload) Workers(s *harness.System) []func(*sim.Core) {
 					w.m.Store(c, off, buf)
 					if w.raw != nil {
 						w.raw.OnWrite(c, off, cfg.BlockBytes)
+					}
+					if w.async != nil {
+						w.async.MarkDirty(c, off, cfg.BlockBytes)
 					}
 				} else {
 					w.m.Load(c, off, buf)

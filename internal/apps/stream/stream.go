@@ -66,9 +66,10 @@ func Default(k Kernel) Config {
 
 // Workload implements harness.Workload.
 type Workload struct {
-	Cfg Config
-	m   *daxfs.DaxMap
-	raw *swred.RawScheme
+	Cfg   Config
+	m     *daxfs.DaxMap
+	raw   *swred.RawScheme
+	async *swred.Vilamb
 
 	a, b, cOff uint64 // array offsets within the mapping
 	scalar     uint64
@@ -99,6 +100,8 @@ func (w *Workload) Setup(s *harness.System) error {
 		if err != nil {
 			return err
 		}
+	case param.Vilamb:
+		w.async = s.Async(m)
 	}
 	// Prefill arrays with a raw deterministic ramp and reconcile redundancy.
 	geo := s.FS.Geometry()
@@ -162,11 +165,14 @@ func (w *Workload) Workers(s *harness.System) []func(*sim.Core) {
 }
 
 // store writes one line and runs the software-redundancy hook under TxB
-// designs.
+// designs, or reports the dirtied line under the async (Vilamb) family.
 func (w *Workload) store(c *sim.Core, off uint64, data []byte) {
 	w.m.Store(c, off, data)
 	if w.raw != nil {
 		w.raw.OnWrite(c, off, 64)
+	}
+	if w.async != nil {
+		w.async.MarkDirty(c, off, 64)
 	}
 }
 

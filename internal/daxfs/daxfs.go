@@ -92,6 +92,9 @@ func New(eng *sim.Engine, ctrl *core.Controller) (*FS, error) {
 	return fs, nil
 }
 
+// Engine returns the simulation engine the file system lives on.
+func (fs *FS) Engine() *sim.Engine { return fs.eng }
+
 // Controller returns the attached TVARAK controller (nil for software-only
 // designs).
 func (fs *FS) Controller() *core.Controller { return fs.ctrl }

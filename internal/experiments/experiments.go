@@ -37,6 +37,13 @@ type Options struct {
 	// Designs restricts which designs run (nil = all four). Experiments
 	// never mutate this slice.
 	Designs []param.Design
+	// Async shapes every Vilamb-design cell's machine: epoch interval,
+	// dirty-tracking granularity, battery preset and recomputation mode
+	// (the ext-async sweeps own their epoch/granularity axes and take only
+	// the recomputation mode from here). The zero value is the classic
+	// Vilamb sketch and leaves Scope strings and cell fingerprints
+	// identical to their pre-async forms.
+	Async param.AsyncConfig
 	// Parallel bounds how many cells simulate concurrently: 0 means one
 	// per CPU, 1 means sequential. Results are identical at any level.
 	Parallel int
@@ -101,6 +108,9 @@ func (o Options) config(d param.Design) *param.Config {
 		c = param.ReproScale(d)
 	}
 	c.Shards = o.Shards
+	if d == param.Vilamb && !o.Async.IsZero() {
+		c.Async = o.Async
+	}
 	return c
 }
 
@@ -133,7 +143,11 @@ func (o Options) scaleBytes(n uint64) uint64 {
 // handshake compares Scope strings to reject version- or option-skewed
 // peers, and a journaled run resumes only under the same Scope.
 func (o Options) Scope(id string) string {
-	return fmt.Sprintf("%s|scale=%g|full=%t", id, o.Scale, o.FullScale)
+	s := fmt.Sprintf("%s|scale=%g|full=%t", id, o.Scale, o.FullScale)
+	if !o.Async.IsZero() {
+		s += "|async=" + o.Async.Label()
+	}
+	return s
 }
 
 // run executes the cells on the options' runner and collects the table.
@@ -189,10 +203,12 @@ var cellBuilders = map[string]func(Options) []harness.Cell{
 	"fig10b": func(o Options) []harness.Cell {
 		return waySweepCells(o, func(cfg *param.Config, ways int) { cfg.Tvarak.DiffWays = ways })
 	},
-	"sec4g":       sec4GCells,
-	"sec4h-dimms": sec4HDimmsCells,
-	"sec4h-tech":  sec4HTechCells,
-	"ext-vilamb":  extVilambCells,
+	"sec4g":          sec4GCells,
+	"sec4h-dimms":    sec4HDimmsCells,
+	"sec4h-tech":     sec4HTechCells,
+	"ext-vilamb":     extVilambCells,
+	"ext-async":      extAsyncCells,
+	"ext-async-mini": extAsyncMiniCells,
 }
 
 // runFromCells builds an Experiment.Run function over a cell enumerator.
@@ -217,6 +233,8 @@ func Experiments() []Experiment {
 		{ID: "sec4h-dimms", Paper: "§IV-H: 4 vs 8 NVM DIMMs", Title: "§IV-H NVM DIMM count (stream triad)"},
 		{ID: "sec4h-tech", Paper: "§IV-H: Optane-like vs battery-backed-DRAM NVM", Title: "§IV-H NVM technology (stream triad)"},
 		{ID: "ext-vilamb", Paper: "extension: Table I's Vilamb row (asynchronous epochs) vs the paper's designs", Title: "extension: Vilamb (asynchronous epochs) vs evaluated designs"},
+		{ID: "ext-async", Paper: "extension: async-redundancy family mega-sweep (epoch × dirty granularity × battery preset, 7 apps)", Title: "extension: async family epoch/granularity mega-sweep"},
+		{ID: "ext-async-mini", Paper: "extension: reduced async-family sweep (golden and CI fleet gate)", Title: "extension: async family sweep (reduced)"},
 	}
 	for i := range exps {
 		exps[i].Run = runFromCells(exps[i].Title, exps[i].ID)

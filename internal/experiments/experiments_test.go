@@ -11,7 +11,7 @@ func TestRegistryCoversEveryFigure(t *testing.T) {
 	want := []string{
 		"fig8-redis", "fig8-kv", "fig8-nstore", "fig8-fio", "fig8-stream",
 		"fig9", "fig10a", "fig10b", "sec4g", "sec4h-dimms", "sec4h-tech",
-		"ext-vilamb",
+		"ext-vilamb", "ext-async", "ext-async-mini",
 	}
 	got := experiments.Experiments()
 	if len(got) != len(want) {

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"testing"
+
+	"tvarak/internal/param"
+)
+
+// TestAsyncVerdictTable is the table-driven gate on the epoch-aware oracle
+// semantics: for each design (synchronous, asynchronous at several points
+// of the epoch axis, battery preset, baseline) the same seeded injection
+// plan must resolve to the design's contracted verdict classes —
+//
+//   - Baseline: fired firmware-bug corruption stays oracle-confirmed
+//     silent; nothing is detected.
+//   - TVARAK (synchronous): everything detected and recovered at the
+//     sweep; no injection is ever classified in-window.
+//   - Vilamb, one round (corruption armed INSIDE the open epoch window):
+//     the reconciliation pass absorbs dirty-line corruption —
+//     expected-silent, never a failure, never an out-of-window miss.
+//   - Vilamb, several rounds (corruption lands AFTER earlier epochs
+//     reconciled the lines): the scrub pass must detect it; repaired or
+//     quarantined, but never silently missed (Undetected == 0).
+//   - Battery preset: staged intent CRCs verify at the reconciliation
+//     point, so nothing may be absorbed in-window (InWindowSilent == 0)
+//     — deferral with a zero silent-vulnerability window.
+//
+// The cases run the real unit machinery (runUnit) on a fixed seed, so
+// they double as race-set coverage of the async reconcile/verdict path.
+func TestAsyncVerdictTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	const seed = 9
+	cases := []struct {
+		name   string
+		app    string
+		design param.Design
+		async  param.AsyncConfig
+		n      int
+		check  func(t *testing.T, rep *UnitReport)
+	}{
+		{
+			name: "baseline-confirmed-silent", app: "ctree", design: param.Baseline, n: 8,
+			check: func(t *testing.T, rep *UnitReport) {
+				if rep.SilentCorruptions == 0 {
+					t.Error("baseline: no oracle-confirmed silent corruption")
+				}
+				if rep.Detections != 0 {
+					t.Errorf("baseline: %d detections without a redundancy scheme", rep.Detections)
+				}
+				if rep.InWindowSilent != 0 {
+					t.Errorf("baseline: %d in-window verdicts on a windowless design", rep.InWindowSilent)
+				}
+			},
+		},
+		{
+			name: "tvarak-synchronous-detects-all", app: "ctree", design: param.Tvarak, n: 8,
+			check: func(t *testing.T, rep *UnitReport) {
+				if rep.Undetected != 0 || rep.Unrecovered != 0 {
+					t.Errorf("tvarak: undetected=%d unrecovered=%d, want 0/0", rep.Undetected, rep.Unrecovered)
+				}
+				if rep.SilentCorruptions != 0 {
+					t.Errorf("tvarak: %d silent corruptions", rep.SilentCorruptions)
+				}
+				if rep.Detections == 0 {
+					t.Error("tvarak: nothing detected")
+				}
+				for _, rec := range rep.Injections {
+					if rec.InWindow {
+						t.Errorf("tvarak: injection at %#x classified in-window on a synchronous design", rec.Addr)
+					}
+				}
+			},
+		},
+		{
+			// One round: every armed corruption sits inside the first open
+			// epoch window at the reconciliation point.
+			name: "vilamb-inside-window-absorbed", app: "ctree", design: param.Vilamb,
+			async: param.AsyncConfig{EpochCyc: 5000, DirtyGran: param.GranLine}, n: 8,
+			check: func(t *testing.T, rep *UnitReport) {
+				if rep.Undetected != 0 {
+					t.Errorf("vilamb(1 round): %d out-of-window misses inside the window", rep.Undetected)
+				}
+				if rep.InWindowSilent == 0 && rep.Detections == 0 && rep.QuarantinedLines == 0 {
+					t.Error("vilamb(1 round): fired corruption neither absorbed in-window nor detected")
+				}
+			},
+		},
+		{
+			// Three rounds: rounds 2-3 corrupt lines that rounds 1-2 already
+			// reconciled — outside any window, so detection is mandatory.
+			name: "vilamb-after-window-scrub-detects", app: "ctree", design: param.Vilamb,
+			async: param.AsyncConfig{EpochCyc: 5000, DirtyGran: param.GranLine}, n: 24,
+			check: func(t *testing.T, rep *UnitReport) {
+				if rep.Undetected != 0 {
+					t.Errorf("vilamb(3 rounds): %d undetected out-of-window corruptions", rep.Undetected)
+				}
+				if rep.Detections == 0 {
+					t.Error("vilamb(3 rounds): scrub never detected out-of-window corruption")
+				}
+				if rep.WindowLines == 0 {
+					t.Error("vilamb(3 rounds): no vulnerability-window accounting")
+				}
+			},
+		},
+		{
+			name: "vilamb-range-granularity", app: "stream", design: param.Vilamb,
+			async: param.AsyncConfig{EpochCyc: 5000, DirtyGran: param.GranRange, Incremental: true}, n: 24,
+			check: func(t *testing.T, rep *UnitReport) {
+				if rep.Undetected != 0 {
+					t.Errorf("vilamb(range): %d undetected corruptions", rep.Undetected)
+				}
+			},
+		},
+		{
+			name: "battery-zero-silent-window", app: "ctree", design: param.Vilamb,
+			async: param.BatteryPreset(5000), n: 24,
+			check: func(t *testing.T, rep *UnitReport) {
+				if rep.InWindowSilent != 0 {
+					t.Errorf("battery: %d corruptions absorbed in-window; the preset promises a zero silent window", rep.InWindowSilent)
+				}
+				if rep.Undetected != 0 {
+					t.Errorf("battery: %d undetected corruptions", rep.Undetected)
+				}
+				for _, rec := range rep.Injections {
+					if rec.InWindow {
+						t.Errorf("battery: injection at %#x classified in-window", rec.Addr)
+					}
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			app, err := lookupApp(tc.app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := NewPlan(tc.app, seed, tc.n)
+			rep := runUnit(nil, app, tc.design, plan, tc.async)
+			if rep == nil {
+				t.Fatal("unit voided without a context")
+			}
+			t.Logf("fired=%d det=%d rec=%d silent=%d inwin=%d quar=%d undet=%d unrec=%d winLines=%d failure=%q",
+				rep.Fired, rep.Detections, rep.Recoveries, rep.SilentCorruptions,
+				rep.InWindowSilent, rep.QuarantinedLines, rep.Undetected, rep.Unrecovered,
+				rep.WindowLines, rep.Failure)
+			if tc.design != param.Baseline && rep.Failure != "" {
+				t.Fatalf("unit failed: %s", rep.Failure)
+			}
+			tc.check(t, rep)
+		})
+	}
+}

@@ -25,6 +25,11 @@ type Options struct {
 	// Designs restricts the designs (default: Baseline and TVARAK — the
 	// miss/detect contrast the paper's Table 4 argument rests on).
 	Designs []param.Design
+	// Async shapes every Vilamb-design unit's machine (epoch, dirty
+	// granularity, battery/incremental); ignored for other designs. The
+	// zero value is the classic Vilamb sketch, and leaves fingerprints
+	// and unit keys identical to their pre-async forms.
+	Async param.AsyncConfig
 	// Shrink minimizes each failing unit's schedule after the campaign.
 	Shrink bool
 	// ShrinkBudget caps re-runs per shrunk unit (default 48).
@@ -66,6 +71,12 @@ type Report struct {
 	CrashPoints       int `json:"crashPoints"`
 	Failures          int `json:"failures"`
 
+	// Asynchronous-design totals (zero and absent unless Vilamb-family
+	// units ran): injections absorbed inside an open epoch window, and
+	// lines quarantined as detected-but-unrepairable.
+	InWindowSilent   int    `json:"inWindowSilent,omitempty"`
+	QuarantinedLines uint64 `json:"quarantinedLines,omitempty"`
+
 	// Resumed counts units restored from a journal instead of re-run;
 	// Interrupted counts unit slots left empty by cancellation. Both are
 	// zero (and absent from the wire format) on a clean uninterrupted
@@ -93,6 +104,27 @@ func (opt Options) normalized() (apps []string, designs []param.Design, total in
 		total = len(apps)
 	}
 	return apps, designs, total
+}
+
+// Scope identifies the campaign's shape for journal binding and the
+// fleet's gateway/worker handshake: seed, total injections, app list, and
+// — only when non-default, so historical scopes stay byte-identical — the
+// design list and async configuration. A local tvarak-fault journal and a
+// gateway journal use the same string, so they are interchangeable.
+func (opt Options) Scope() string {
+	s := fmt.Sprintf("fault-campaign|seed=%d|n=%d|apps=%s",
+		opt.Seed, opt.N, strings.Join(opt.Apps, ","))
+	if len(opt.Designs) > 0 {
+		var names []string
+		for _, d := range opt.Designs {
+			names = append(names, d.String())
+		}
+		s += "|designs=" + strings.Join(names, ",")
+	}
+	if !opt.Async.IsZero() {
+		s += "|async=" + opt.Async.Label()
+	}
+	return s
 }
 
 // CampaignUnit is one enumerated unit of a campaign: the standalone
@@ -126,11 +158,20 @@ func CampaignUnits(opt Options) ([]CampaignUnit, error) {
 		// printable/reproducible from the campaign seed alone.
 		seed := opt.Seed + int64(ai)*0x4f1bbcdcbfa53e0b
 		for _, d := range designs {
+			p := UnitParams{App: name, Design: d, Seed: seed, N: n}
+			fp := fmt.Sprintf("fault-unit|seed=%d|n=%d|%s|%s",
+				opt.Seed, total, name, d)
+			if d == param.Vilamb && !opt.Async.IsZero() {
+				p.EpochCyc = opt.Async.EpochCyc
+				p.DirtyGran = opt.Async.DirtyGran.String()
+				p.Battery = opt.Async.Battery
+				p.Incremental = opt.Async.Incremental
+				fp += "|async=" + opt.Async.Label()
+			}
 			units = append(units, CampaignUnit{
-				Params: UnitParams{App: name, Design: d, Seed: seed, N: n},
-				Fp: fmt.Sprintf("fault-unit|seed=%d|n=%d|%s|%s",
-					opt.Seed, total, name, d),
-				Label: name + "/" + d.String(),
+				Params: p,
+				Fp:     fp,
+				Label:  name + "/" + d.String(),
 			})
 		}
 	}
@@ -161,6 +202,8 @@ func AssembleReport(opt Options, units []CampaignUnit, reports []*UnitReport) (*
 		rep.Unrecovered += u.Unrecovered
 		rep.AppPanics += u.AppPanics
 		rep.CrashPoints += u.CrashPoints
+		rep.InWindowSilent += u.InWindowSilent
+		rep.QuarantinedLines += u.QuarantinedLines
 		if u.Failure != "" {
 			rep.Failures++
 			failed = append(failed, u.Label())
@@ -175,7 +218,7 @@ func AssembleReport(opt Options, units []CampaignUnit, reports []*UnitReport) (*
 					return rep, err
 				}
 				plan := NewPlan(p.App, p.Seed, p.N)
-				u.MinimalSpecs, u.ShrinkRuns = shrinkUnit(app, p.Design, plan, budget)
+				u.MinimalSpecs, u.ShrinkRuns = shrinkUnit(app, p.Design, plan, budget, p.AsyncCfg())
 			}
 		}
 	}

@@ -165,11 +165,11 @@ func TestShrinkMinimizesFailingUnit(t *testing.T) {
 		t.Fatal(err)
 	}
 	plan := NewPlan("fio", 11, 8)
-	full := runUnit(nil, app, param.Tvarak, plan)
+	full := runUnit(nil, app, param.Tvarak, plan, param.AsyncConfig{})
 	if full.Failure == "" {
 		t.Fatal("hook did not fail the full unit")
 	}
-	specs, runs := shrinkUnit(app, param.Tvarak, plan, 64)
+	specs, runs := shrinkUnit(app, param.Tvarak, plan, 64, param.AsyncConfig{})
 	if runs == 0 || len(specs) == 0 {
 		t.Fatalf("shrinker did not run (specs=%d runs=%d)", len(specs), runs)
 	}
@@ -269,7 +269,7 @@ func TestRunUnitInterruptedMidFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep := runUnit(ctx, app, param.Tvarak, NewPlan("stream", 3, 4)); rep != nil {
+	if rep := runUnit(ctx, app, param.Tvarak, NewPlan("stream", 3, 4), param.AsyncConfig{}); rep != nil {
 		t.Fatalf("interrupted unit returned a report: %+v", rep)
 	}
 }

@@ -9,12 +9,13 @@ import (
 // shrinkUnit minimizes a failing unit's injection schedule by delta
 // debugging over flat spec indices, re-running the unit per attempt.
 // Rounds and their OpsSeeds are preserved, so the minimal schedule
-// replays against the exact same workload segments. Returns the minimal
-// failing spec list and how many unit re-runs the search spent (capped
-// at budget).
-func shrinkUnit(app appSpec, design param.Design, plan Plan, budget int) ([]Spec, int) {
+// replays against the exact same workload segments (async units re-run
+// under the identical async configuration). Returns the minimal failing
+// spec list and how many unit re-runs the search spent (capped at
+// budget).
+func shrinkUnit(app appSpec, design param.Design, plan Plan, budget int, async param.AsyncConfig) ([]Spec, int) {
 	keep, runs := ddmin(plan.Injections(), budget, func(k map[int]bool) bool {
-		return runUnit(nil, app, design, plan.withSpecs(k)).Failure != ""
+		return runUnit(nil, app, design, plan.withSpecs(k), async).Failure != ""
 	})
 	return flatSpecs(plan.withSpecs(keep)), runs
 }

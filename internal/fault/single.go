@@ -29,12 +29,39 @@ type UnitParams struct {
 	// Shards is the weave-shard count for the unit's machine (a free
 	// determinism axis: results are byte-identical at any value).
 	Shards int `json:"shards"`
+
+	// EpochCyc, DirtyGran, Battery and Incremental shape the async
+	// (Vilamb family) configuration of the unit's machine; all-default
+	// for every other design, and omitted from the wire format and Key
+	// when default so historical units stay byte- and key-identical.
+	EpochCyc    uint64 `json:"epochCyc,omitempty"`
+	DirtyGran   string `json:"dirtyGran,omitempty"`
+	Battery     bool   `json:"battery,omitempty"`
+	Incremental bool   `json:"incremental,omitempty"`
+}
+
+// AsyncCfg assembles the unit's param.AsyncConfig from the flat fields.
+// DirtyGran strings come from our own enumeration (CLI flags validate
+// before building units); an unknown string falls back to page
+// granularity, ParseDirtyGran's zero value.
+func (p UnitParams) AsyncCfg() param.AsyncConfig {
+	g, _ := param.ParseDirtyGran(p.DirtyGran)
+	return param.AsyncConfig{
+		EpochCyc:    p.EpochCyc,
+		DirtyGran:   g,
+		Battery:     p.Battery,
+		Incremental: p.Incremental,
+	}
 }
 
 // Key is the stable identity string used for journaling and ledger lines.
 func (p UnitParams) Key() string {
-	return fmt.Sprintf("%s/%s|seed=%d|n=%d|shards=%d",
+	k := fmt.Sprintf("%s/%s|seed=%d|n=%d|shards=%d",
 		p.App, p.Design, p.Seed, p.N, p.Shards)
+	if a := p.AsyncCfg(); !a.IsZero() {
+		k += "|async=" + a.Label()
+	}
+	return k
 }
 
 // RunSingleUnit executes one campaign unit to completion and returns its
@@ -50,7 +77,7 @@ func RunSingleUnit(ctx context.Context, p UnitParams) (*UnitReport, error) {
 		return nil, err
 	}
 	plan := NewPlan(p.App, p.Seed, p.N)
-	rep := runUnitShards(ctx, spec, p.Design, plan, p.Shards)
+	rep := runUnitShards(ctx, spec, p.Design, plan, p.Shards, p.AsyncCfg())
 	if rep == nil {
 		return nil, context.Cause(ctx)
 	}

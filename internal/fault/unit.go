@@ -39,6 +39,10 @@ type InjectionRecord struct {
 	// device ECC flagged the line (bit flips under Baseline).
 	Silent bool `json:"silent,omitempty"`
 	ECC    bool `json:"ecc,omitempty"`
+	// InWindow: the corruption hit a line that was dirty (awaiting its
+	// epoch) at the asynchronous design's reconciliation point, so the
+	// pass absorbed it — expected-silent inside the vulnerability window.
+	InWindow bool `json:"inWindow,omitempty"`
 }
 
 // UnitReport is one (app, design) campaign unit's outcome.
@@ -65,6 +69,18 @@ type UnitReport struct {
 	// whose exclusion no recovery cleared.
 	Undetected  int `json:"undetected"`
 	Unrecovered int `json:"unrecovered"`
+
+	// Asynchronous-design (Vilamb family) accounting. InWindowSilent
+	// counts fired injections absorbed inside an open epoch window
+	// (expected-silent; must be zero under the battery preset);
+	// QuarantinedLines counts lines detected corrupt that parity could
+	// not verifiably repair (detected-but-unrecovered, permitted for
+	// async designs). WindowCyc/WindowLines are the realized
+	// vulnerability-window integral over all reconciled lines.
+	InWindowSilent   int    `json:"inWindowSilent,omitempty"`
+	QuarantinedLines uint64 `json:"quarantinedLines,omitempty"`
+	WindowCyc        uint64 `json:"windowCyc,omitempty"`
+	WindowLines      uint64 `json:"windowLines,omitempty"`
 
 	// AppPanics counts workload workers that crashed chasing corrupt
 	// state (a wild pointer read from a silently-corrupted line). Under
@@ -117,6 +133,12 @@ type unitCtx struct {
 	groups   map[uint64]bool // occupied parity groups (oracle.GroupKey)
 	live     []*armedInj
 	sweepBad map[uint64]bool // cumulative sweep divergences (oracle-confirmed)
+
+	// inWindow marks lines that were dirty (inside an open epoch window)
+	// at an asynchronous design's reconciliation point: the pass absorbed
+	// their corruption, which stays expected-silent for the rest of the
+	// unit. Only populated under the Vilamb design.
+	inWindow map[uint64]bool
 }
 
 // runUnit executes one (app, design) unit of the campaign plan and
@@ -127,8 +149,8 @@ type unitCtx struct {
 // an interrupted unit returns nil (a half-run unit's report would fail
 // the sweeps for reasons that are the interruption's fault, not the
 // design's).
-func runUnit(ctx context.Context, app appSpec, design param.Design, plan Plan) (rep *UnitReport) {
-	return runUnitShards(ctx, app, design, plan, 0)
+func runUnit(ctx context.Context, app appSpec, design param.Design, plan Plan, async param.AsyncConfig) (rep *UnitReport) {
+	return runUnitShards(ctx, app, design, plan, 0, async)
 }
 
 // runUnitShards is runUnit with the weave-shard count threaded through to
@@ -136,7 +158,10 @@ func runUnit(ctx context.Context, app appSpec, design param.Design, plan Plan) (
 // sharded weave is byte-identical at any setting, and the oracle's
 // observers degrade it to serial anyway), so reports stay comparable
 // across shard settings — the soak harness uses that as a free axis.
-func runUnitShards(ctx context.Context, app appSpec, design param.Design, plan Plan, shards int) (rep *UnitReport) {
+// async shapes the Vilamb family's machine (ignored for other designs);
+// fault units always run with the scrub pass on, since scrubbing is the
+// async designs' out-of-window detection mechanism.
+func runUnitShards(ctx context.Context, app appSpec, design param.Design, plan Plan, shards int, async param.AsyncConfig) (rep *UnitReport) {
 	rep = &UnitReport{App: plan.App, Design: design.String(), Rounds: len(plan.Rounds)}
 	defer func() {
 		if r := recover(); r != nil {
@@ -147,9 +172,14 @@ func runUnitShards(ctx context.Context, app appSpec, design param.Design, plan P
 		app: app, design: design, plan: plan, rep: rep, ctx: ctx,
 		groups:   make(map[uint64]bool),
 		sweepBad: make(map[uint64]bool),
+		inWindow: make(map[uint64]bool),
 	}
 	cfg := param.SmallTest(design)
 	cfg.Shards = shards
+	if design == param.Vilamb {
+		async.Scrub = true
+		cfg.Async = async
+	}
 	sys, err := harness.NewSystem(cfg)
 	if err != nil {
 		rep.fail("system: %v", err)
@@ -244,6 +274,10 @@ func (u *unitCtx) runRound(ri int, round Round) {
 		// and recoveries it would have driven never happened, so the
 		// post-sweep checks would charge the design with the
 		// interruption's consequences. Void the report instead.
+		return
+	}
+	u.asyncReconcile()
+	if u.cancelled() {
 		return
 	}
 	u.resolveAfterSweep(thisRound)
@@ -357,9 +391,30 @@ func (u *unitCtx) pick(cands []uint64, r uint64, exclude uint64) (uint64, bool) 
 		if u.groups[u.o.GroupKey(a)] {
 			continue
 		}
+		if !u.inCoverage(a) {
+			continue
+		}
 		return a, true
 	}
 	return 0, false
+}
+
+// inCoverage restricts targets to lines the design claims to protect.
+// For the asynchronous family that is the lines a scheme tracks (dirty
+// now or reconciled before) — writes that bypass MarkDirty (allocator
+// metadata, the schemes' own CRC/parity stores) are outside its coverage
+// the same way non-transactional data is outside a TxB scheme's; every
+// other design covers all written data lines.
+func (u *unitCtx) inCoverage(addr uint64) bool {
+	if u.design != param.Vilamb {
+		return true
+	}
+	for _, v := range u.sys.Vilambs {
+		if v.Tracked(addr) {
+			return true
+		}
+	}
+	return false
 }
 
 // pickVictim is pick with the additional constraint that the line's
@@ -380,6 +435,9 @@ func (u *unitCtx) pickVictim(cands []uint64, r uint64, addr uint64) (uint64, boo
 			continue
 		}
 		if u.groups[u.o.GroupKey(v)] {
+			continue
+		}
+		if !u.inCoverage(v) {
 			continue
 		}
 		u.o.Want(v, v64)
@@ -481,6 +539,90 @@ func (u *unitCtx) sweep() {
 	}
 }
 
+// asyncReconcile is the asynchronous designs' reconciliation point,
+// placed deterministically between the sweep and the verdicts: note
+// which diverged lines sit inside an open epoch window (dirty, awaiting
+// reconciliation), then run every scheme's full epoch pass — scrub of
+// previously reconciled clean lines, then drain of the dirty set — on a
+// spare core. No bugs are armed here and the sweep just loaded every
+// written line, so the pass is deterministic and its loads are cache-hot.
+func (u *unitCtx) asyncReconcile() {
+	if u.design != param.Vilamb || len(u.sys.Vilambs) == 0 {
+		return
+	}
+	for _, inj := range u.live {
+		for _, a := range inj.addrs {
+			if !u.o.Excluded(a) || u.inWindow[a] {
+				continue
+			}
+			for _, v := range u.sys.Vilambs {
+				if v.Pending(a) {
+					u.inWindow[a] = true
+					break
+				}
+			}
+		}
+	}
+	u.sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+		for _, v := range u.sys.Vilambs {
+			v.ProcessEpoch(c)
+		}
+	}})
+}
+
+// resolveAsync settles the asynchronous designs' per-line verdicts after
+// the reconciliation point. Every still-diverged line must be accounted
+// for: repaired (exclusion cleared by EvRecovery), detected (scrub or
+// battery verification emitted EvCorruption — quarantined lines stay
+// excluded, which is permitted: detected-but-unrecovered), or absorbed
+// inside an open epoch window (expected-silent — but a failure under the
+// battery preset, whose staged intent CRCs promise a zero silent window).
+// Anything else is an out-of-window miss and fails the unit.
+func (u *unitCtx) resolveAsync() {
+	battery := u.sys.Cfg.Async.Battery
+	for _, inj := range u.live {
+		rec := inj.rec
+		if !rec.Fired || rec.Cancelled || inj.read {
+			continue
+		}
+		still := inj.addrs[:0]
+		for _, a := range inj.addrs {
+			if !u.o.Excluded(a) {
+				continue // repaired: EvRecovery cleared the exclusion
+			}
+			still = append(still, a)
+			if u.asyncQuarantined(a) || u.o.DetectedAt(a) {
+				continue
+			}
+			if u.inWindow[a] && !battery {
+				rec.InWindow = true
+				continue
+			}
+			if u.inWindow[a] {
+				u.rep.fail("%s at %#x: battery preset absorbed in-window corruption at %#x silently",
+					rec.Kind, rec.Addr, a)
+				return
+			}
+			u.rep.Undetected++
+			u.rep.fail("%s at %#x: out-of-window corruption at %#x neither detected nor repaired",
+				rec.Kind, rec.Addr, a)
+			return
+		}
+		inj.addrs = still
+	}
+}
+
+// asyncQuarantined reports whether some scheme holds the line at addr in
+// quarantine (detected corrupt, parity reconstruction unverifiable).
+func (u *unitCtx) asyncQuarantined(addr uint64) bool {
+	for _, v := range u.sys.Vilambs {
+		if v.QuarantinedAddr(addr) {
+			return true
+		}
+	}
+	return false
+}
+
 // resolveAfterSweep settles read bugs (the sweep's loads consume them),
 // requires — under TVARAK — that every diverged line has been recovered
 // by now (its exclusion cleared by EvRecovery), and settles the round's
@@ -516,6 +658,12 @@ func (u *unitCtx) resolveAfterSweep(round []*armedInj) {
 					inj.rec.Kind, inj.rec.Addr, still)
 				return
 			}
+		}
+	}
+	if u.design == param.Vilamb {
+		u.resolveAsync()
+		if u.rep.Failure != "" {
+			return
 		}
 	}
 	u.settleRecords()
@@ -685,6 +833,11 @@ func (u *unitCtx) finish() {
 		return
 	}
 
+	if u.design == param.Vilamb {
+		u.finishAsync()
+		return
+	}
+
 	// Baseline: no detections, and every fired non-benign firmware bug
 	// must be oracle-confirmed silent (bit flips are ECC-visible, which
 	// is detection by the device, not the design — still not silent).
@@ -711,5 +864,49 @@ func (u *unitCtx) finish() {
 	}
 	if firmwareFired > 0 && rep.SilentCorruptions == 0 {
 		rep.fail("%d firmware bugs fired yet none were confirmed silent", firmwareFired)
+	}
+}
+
+// finishAsync settles the asynchronous designs' unit-level verdicts.
+// Epoch-aware semantics: a corruption absorbed inside an open epoch
+// window is expected-silent (the oracle must still hold evidence of it —
+// the window is a real exposure, not a free pass); everything outside a
+// window must have been detected, with quarantine (detected, unrepaired)
+// permitted. Misdirected reads are undetectable by any async design —
+// there is no read-path verification — so they follow Baseline's
+// confirmed-silent rule. Per-line misses already failed the unit in
+// resolveAsync; this pass cross-checks the oracle evidence and fills the
+// vulnerability-window accounting.
+func (u *unitCtx) finishAsync() {
+	rep := u.rep
+	st := u.sys.Eng.St
+	rep.QuarantinedLines = st.AsyncQuarantined
+	rep.WindowCyc = st.AsyncWindowCyc
+	rep.WindowLines = st.AsyncWindowLines
+	for _, rec := range rep.Injections {
+		if !rec.Fired || rec.Benign || rec.Cancelled {
+			continue
+		}
+		if rec.Kind == BitFlip.String() {
+			rec.ECC = u.eccAt(rec.Addr)
+		}
+		switch {
+		case rec.Kind == MisdirectedRead.String():
+			rec.Silent = u.evidence(rec.Addr) || (rec.Victim != 0 && u.evidence(rec.Victim))
+			if rec.Silent {
+				rep.SilentCorruptions++
+			} else {
+				rep.fail("%s at %#x fired but the oracle saw no corruption evidence",
+					rec.Kind, rec.Addr)
+			}
+		case rec.InWindow:
+			rec.Silent = u.evidence(rec.Addr) || (rec.Victim != 0 && u.evidence(rec.Victim))
+			if !rec.Silent && !rec.Detected {
+				rep.fail("%s at %#x absorbed in-window yet the oracle saw no corruption evidence",
+					rec.Kind, rec.Addr)
+			}
+			rep.SilentCorruptions++
+			rep.InWindowSilent++
+		}
 	}
 }

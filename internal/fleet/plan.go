@@ -43,6 +43,10 @@ type Plan interface {
 // two builds surfaces as a scope or fingerprint mismatch, never as a
 // silently-wrong merged table.
 func BuildPlan(spec JobSpec) (Plan, error) {
+	async, err := asyncCfg(spec)
+	if err != nil {
+		return nil, err
+	}
 	switch spec.Kind {
 	case "sweep":
 		designs, err := parseDesigns(spec.Designs)
@@ -59,6 +63,7 @@ func BuildPlan(spec JobSpec) (Plan, error) {
 			Designs:     designs,
 			SampleEvery: spec.SampleEvery,
 			Shards:      spec.Shards,
+			Async:       async,
 		}
 		cells := exp.Cells(o)
 		if len(cells) == 0 {
@@ -71,11 +76,31 @@ func BuildPlan(spec JobSpec) (Plan, error) {
 		p.Title = exp.Title
 		return p, nil
 	case "campaign":
-		opt := fault.Options{Seed: spec.Seed, N: spec.N, Apps: spec.Apps}
+		designs, err := parseDesigns(spec.Designs)
+		if err != nil {
+			return nil, err
+		}
+		opt := fault.Options{Seed: spec.Seed, N: spec.N, Apps: spec.Apps,
+			Designs: designs, Async: async}
 		return NewCampaignPlan(opt, spec.Shards)
 	default:
 		return nil, fmt.Errorf("fleet: unknown job kind %q (want sweep or campaign)", spec.Kind)
 	}
+}
+
+// asyncCfg assembles the spec's async (Vilamb-family) configuration,
+// rejecting unknown granularity strings before any unit is enumerated.
+func asyncCfg(spec JobSpec) (param.AsyncConfig, error) {
+	g, err := param.ParseDirtyGran(spec.DirtyGran)
+	if err != nil {
+		return param.AsyncConfig{}, fmt.Errorf("fleet: job spec: %w", err)
+	}
+	a := param.AsyncConfig{EpochCyc: spec.EpochCyc, DirtyGran: g, Incremental: spec.Incremental}
+	if spec.Battery {
+		a = param.BatteryPreset(spec.EpochCyc)
+		a.Incremental = spec.Incremental
+	}
+	return a, nil
 }
 
 // parseDesigns maps design names (Design.String() values, as JobSpec
@@ -201,10 +226,7 @@ func NewCampaignPlan(opt fault.Options, shards int) (*CampaignPlan, error) {
 	return &CampaignPlan{opt: opt, units: units, shards: shards}, nil
 }
 
-func (p *CampaignPlan) Scope() string {
-	return fmt.Sprintf("fault-campaign|seed=%d|n=%d|apps=%s",
-		p.opt.Seed, p.opt.N, strings.Join(p.opt.Apps, ","))
-}
+func (p *CampaignPlan) Scope() string            { return p.opt.Scope() }
 func (p *CampaignPlan) Units() int               { return len(p.units) }
 func (p *CampaignPlan) Fingerprint(i int) string { return p.units[i].Fp }
 func (p *CampaignPlan) Label(i int) string       { return p.units[i].Label }

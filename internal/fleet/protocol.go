@@ -66,10 +66,19 @@ type JobSpec struct {
 	SampleEvery uint64   `json:"sampleEvery,omitempty"`
 	Shards      int      `json:"shards,omitempty"`
 
-	// Campaign fields (fault.Options that shape units).
+	// Campaign fields (fault.Options that shape units). Designs is shared
+	// with sweep jobs above.
 	Seed int64    `json:"seed,omitempty"`
 	N    int      `json:"n,omitempty"`
 	Apps []string `json:"apps,omitempty"`
+
+	// Async fields (param.AsyncConfig for Vilamb-family units, shared by
+	// both job kinds). All-default async omits every field, so pre-async
+	// specs and scopes round-trip byte-identically.
+	EpochCyc    uint64 `json:"epochCyc,omitempty"`
+	DirtyGran   string `json:"dirtyGran,omitempty"`
+	Battery     bool   `json:"battery,omitempty"`
+	Incremental bool   `json:"incremental,omitempty"`
 }
 
 // JobResponse answers GET /v1/job: the gateway's protocol identity, the

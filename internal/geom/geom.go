@@ -203,17 +203,22 @@ func (g Geometry) ParityLineAddr(addr uint64) uint64 {
 // page of the stripe. Recovery XORs these with the parity line to
 // reconstruct a lost line.
 func (g Geometry) SiblingLineAddrs(addr uint64) []uint64 {
+	return g.AppendSiblingLineAddrs(make([]uint64, 0, g.DIMMs-2), addr)
+}
+
+// AppendSiblingLineAddrs is SiblingLineAddrs into a caller-owned slice, for
+// steady-state paths that must not allocate per line.
+func (g Geometry) AppendSiblingLineAddrs(dst []uint64, addr uint64) []uint64 {
 	p := g.PageOf(addr)
 	s := g.StripeOf(p)
 	off := g.LineAddr((addr - g.NVMBase()) % uint64(g.PageSize))
 	pi := g.ParitySlot(s)
-	sibs := make([]uint64, 0, g.DIMMs-2)
 	for k := 0; k < g.DIMMs; k++ {
 		page := s*uint64(g.DIMMs) + uint64(k)
 		if k == pi || page == p {
 			continue
 		}
-		sibs = append(sibs, g.PageBase(page)+off)
+		dst = append(dst, g.PageBase(page)+off)
 	}
-	return sibs
+	return dst
 }

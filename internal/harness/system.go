@@ -78,7 +78,7 @@ func (s *System) NewHeap(name string, size uint64, maxObjects uint64) (*pmem.Hea
 			return nil, err
 		}
 	case param.Vilamb:
-		v, err := swred.AttachVilamb(s.FS, h, param.VilambEpochCyc)
+		v, err := swred.AttachVilamb(s.FS, h, s.Cfg.Async)
 		if err != nil {
 			return nil, err
 		}
@@ -90,12 +90,37 @@ func (s *System) NewHeap(name string, size uint64, maxObjects uint64) (*pmem.Hea
 // NewMapping creates and DAX-maps a plain file (fio and stream use raw
 // mappings rather than heaps). For TxB designs raw mappings have no
 // redundancy — faithful to Table I: the software schemes only cover data
-// accessed through their transactional interface.
+// accessed through their transactional interface. Vilamb's dirty tracking
+// models page-table dirty bits, which see raw stores just as well as
+// transactional ones, so under the Vilamb design raw mappings get the
+// async scheme too; workloads report writes through Async(m).MarkDirty.
 func (s *System) NewMapping(name string, size uint64) (*daxfs.DaxMap, error) {
 	if _, err := s.FS.Create(name, size); err != nil {
 		return nil, err
 	}
-	return s.FS.MMap(name)
+	m, err := s.FS.MMap(name)
+	if err != nil {
+		return nil, err
+	}
+	if s.Cfg.Design == param.Vilamb {
+		v, err := swred.AttachVilambRaw(s.FS, m, s.Cfg.Async)
+		if err != nil {
+			return nil, err
+		}
+		s.Vilambs = append(s.Vilambs, v)
+	}
+	return m, nil
+}
+
+// Async returns the asynchronous scheme attached to mapping m (nil when
+// the design is not Vilamb or m has no scheme).
+func (s *System) Async(m *daxfs.DaxMap) *swred.Vilamb {
+	for _, v := range s.Vilambs {
+		if v.Mapping() == m {
+			return v
+		}
+	}
+	return nil
 }
 
 // Workload is one application workload (one row group of Table II).
@@ -219,22 +244,44 @@ func (s *System) WithDaemons(workers []func(*sim.Core)) []func(*sim.Core) {
 	if len(wrapped)+daemons > s.Cfg.Cores {
 		panic("harness: no spare cores for the Vilamb daemons")
 	}
-	// The daemon pool splits the heaps' schemes round-robin.
+	// The daemon pool splits the schemes round-robin. Each pool paces
+	// itself by its schemes' epoch (they all share the system's Async
+	// config, but tests may override one instance's EpochCyc, so take the
+	// pool minimum); incremental mode wakes up incrementalSlices times per
+	// epoch and drains a share of the pending lines each wake.
 	for d := 0; d < daemons; d++ {
 		var vs []*swred.Vilamb
+		epoch := uint64(0)
+		incremental := false
 		for i := d; i < len(s.Vilambs); i += daemons {
-			vs = append(vs, s.Vilambs[i])
+			v := s.Vilambs[i]
+			vs = append(vs, v)
+			if epoch == 0 || v.EpochCyc < epoch {
+				epoch = v.EpochCyc
+			}
+			incremental = incremental || v.Config().Incremental
 		}
+		subs := uint64(1)
+		if incremental {
+			subs = swred.IncrementalSlices
+		}
+		interval := max(1, epoch/subs)
 		wrapped = append(wrapped, func(c *sim.Core) {
 			const slice = 10000 // interruptible sleep so daemon idle time does not pad the fixed-work runtime
+			sub := uint64(0)
 			for !stop {
-				for slept := uint64(0); !stop && slept < param.VilambEpochCyc; {
-					step := min(slice, param.VilambEpochCyc-slept)
+				for slept := uint64(0); !stop && slept < interval; {
+					step := min(slice, interval-slept)
 					c.Compute(step)
 					slept += step
 				}
+				sub++
 				for _, v := range vs {
-					v.ProcessEpoch(c)
+					if sub%subs == 0 {
+						v.ProcessEpoch(c)
+					} else {
+						v.ProcessPartial(c, int(subs-sub%subs))
+					}
 				}
 			}
 			for _, v := range vs {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"tvarak/internal/stats"
 )
@@ -57,6 +58,63 @@ type Export struct {
 	Schema int         `json:"schema"`
 	Tool   string      `json:"tool,omitempty"`
 	Runs   []RunRecord `json:"runs"`
+
+	// Figures carries derived figure panels (small tables computed from
+	// Runs, e.g. the async sweep's overhead-vs-epoch panel). Optional and
+	// absent from exports that predate it, so it needs no schema bump.
+	Figures []Figure `json:"figures,omitempty"`
+}
+
+// Figure is one derived figure panel: a fixed column axis plus one row per
+// series. Values are row-major and parallel to Columns; NaN is not
+// representable in JSON, so absent points are encoded as the row's Holes
+// bitmask (bit i set = Values[i] is a hole, rendered blank).
+type Figure struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	// Unit selects the textual rendering of values: "pct" formats fractions
+	// as signed percentages, "cyc" as integral cycle counts; anything else
+	// falls back to shortest-exact floats.
+	Unit    string      `json:"unit,omitempty"`
+	Columns []string    `json:"columns"`
+	Rows    []FigureRow `json:"rows"`
+}
+
+// FigureRow is one series of a figure.
+type FigureRow struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+	Holes  uint64    `json:"holes,omitempty"`
+}
+
+// String renders the figure as a fixed-width text panel, in the style of
+// the harness tables. The output is deterministic — golden tests diff it
+// byte-for-byte.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", f.Title)
+	fmt.Fprintf(&b, "%-32s", "series")
+	for _, c := range f.Columns {
+		fmt.Fprintf(&b, " %12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-32s", r.Label)
+		for i, v := range r.Values {
+			switch {
+			case r.Holes&(1<<uint(i)) != 0:
+				fmt.Fprintf(&b, " %12s", "-")
+			case f.Unit == "pct":
+				fmt.Fprintf(&b, " %12s", fmt.Sprintf("%+.2f%%", v*100))
+			case f.Unit == "cyc":
+				fmt.Fprintf(&b, " %12.0f", v)
+			default:
+				fmt.Fprintf(&b, " %12s", strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // NewExport returns an empty export at the current schema version.
@@ -131,6 +189,13 @@ var metrics = []metric{
 	{"corruptions", func(s *stats.Stats) float64 { return float64(s.CorruptionsDetected) }},
 	{"recoveries", func(s *stats.Stats) float64 { return float64(s.Recoveries) }},
 	{"ecc_errors", func(s *stats.Stats) float64 { return float64(s.ECCErrors) }},
+	{"async_epochs", func(s *stats.Stats) float64 { return float64(s.AsyncEpochs) }},
+	{"async_pages_reconciled", func(s *stats.Stats) float64 { return float64(s.AsyncPagesReconciled) }},
+	{"async_lines_reconciled", func(s *stats.Stats) float64 { return float64(s.AsyncLinesReconciled) }},
+	{"async_scrub_checks", func(s *stats.Stats) float64 { return float64(s.AsyncScrubChecks) }},
+	{"async_quarantined", func(s *stats.Stats) float64 { return float64(s.AsyncQuarantined) }},
+	{"async_window_cyc", func(s *stats.Stats) float64 { return float64(s.AsyncWindowCyc) }},
+	{"async_window_lines", func(s *stats.Stats) float64 { return float64(s.AsyncWindowLines) }},
 }
 
 // WriteCSV renders the aggregate metrics as CSV: one header row, then one

@@ -8,7 +8,11 @@
 // reserved for caching redundancy information and 1 way for data diffs.
 package param
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Design selects the redundancy scheme under evaluation (§IV of the paper).
 type Design int
@@ -66,6 +70,153 @@ const VilambEpochCyc = 1 << 20
 // VilambDaemonCores is how many dedicated cores the Vilamb design adds for
 // its redundancy daemons (Vilamb runs background threads on spare cores).
 const VilambDaemonCores = 4
+
+// DirtyGran selects the dirty-tracking granularity of the asynchronous
+// redundancy family: what the commit hook records and therefore how much
+// data the epoch daemon re-checksums per reconciliation.
+type DirtyGran int
+
+const (
+	// GranPage tracks whole dirty pages (Vilamb's page-table dirty bits):
+	// cheapest to record, but the daemon reprocesses every line of a page
+	// that saw a single store.
+	GranPage DirtyGran = iota
+	// GranLine tracks individual dirty cache lines: the daemon touches
+	// exactly the written lines at the cost of a larger tracking structure.
+	GranLine
+	// GranRange coalesces dirty line runs into sorted, merged ranges:
+	// line-exact coverage with range-compressed bookkeeping, the best of
+	// both for sequential writers.
+	GranRange
+)
+
+// String returns the wire/flag name.
+func (g DirtyGran) String() string {
+	switch g {
+	case GranPage:
+		return "page"
+	case GranLine:
+		return "line"
+	case GranRange:
+		return "range"
+	}
+	return fmt.Sprintf("DirtyGran(%d)", int(g))
+}
+
+// ParseDirtyGran parses a -dirty-gran flag value.
+func ParseDirtyGran(s string) (DirtyGran, error) {
+	switch s {
+	case "", "page":
+		return GranPage, nil
+	case "line":
+		return GranLine, nil
+	case "range":
+		return GranRange, nil
+	}
+	return GranPage, fmt.Errorf("param: unknown dirty granularity %q (want page, line or range)", s)
+}
+
+// AsyncConfig parameterizes the asynchronous-redundancy (Vilamb) design
+// family. The zero value is the classic single-point Vilamb sketch:
+// page-granular dirty tracking, the default epoch, batched reconciliation,
+// no battery staging, no scrub. It only takes effect when Config.Design is
+// Vilamb.
+type AsyncConfig struct {
+	// EpochCyc is the interval between daemon reconciliation passes in
+	// cycles (0 selects VilambEpochCyc). It is also the design's worst-case
+	// vulnerability window: corruption of a dirty line is invisible until
+	// the next pass absorbs or detects it.
+	EpochCyc uint64
+	// DirtyGran selects what the commit hook records.
+	DirtyGran DirtyGran
+	// Incremental spreads each epoch's reconciliation over sub-slices of
+	// the epoch instead of one batched burst at the boundary, trading the
+	// batching win for a smoother daemon footprint and a shorter mean
+	// window.
+	Incremental bool
+	// Battery models the battery-backed-DRAM preset: commit additionally
+	// stages per-line intent CRCs in (battery-backed, hence durable) DRAM,
+	// so the deferred reconciliation pass can verify every dirty line
+	// against its intended content before absorbing it — deferral with a
+	// zero silent-vulnerability window.
+	Battery bool
+	// Scrub makes each reconciliation pass re-verify previously reconciled
+	// (clean) lines against their stored CRCs, detecting out-of-window
+	// corruption and repairing it from parity when the stripe is quiescent.
+	// Fault campaigns run with this on; perf sweeps leave it off unless the
+	// scrub cost is itself under measurement.
+	Scrub bool
+}
+
+// IsZero reports whether every knob is at its default.
+func (a AsyncConfig) IsZero() bool { return a == AsyncConfig{} }
+
+// Effective returns the config with defaults substituted.
+func (a AsyncConfig) Effective() AsyncConfig {
+	if a.EpochCyc == 0 {
+		a.EpochCyc = VilambEpochCyc
+	}
+	return a
+}
+
+// Label returns the compact variant tag used in tables, fingerprints and
+// journal scopes, e.g. "ep4096/line", "ep4096/page+inc", "ep65536/range+bat".
+func (a AsyncConfig) Label() string {
+	e := a.Effective()
+	s := fmt.Sprintf("ep%d/%s", e.EpochCyc, e.DirtyGran)
+	if e.Incremental {
+		s += "+inc"
+	}
+	if e.Battery {
+		s += "+bat"
+	}
+	return s
+}
+
+// BatteryPreset returns the battery-backed-DRAM async preset at the given
+// epoch: line-granular tracking plus staged intent CRCs.
+func BatteryPreset(epochCyc uint64) AsyncConfig {
+	return AsyncConfig{EpochCyc: epochCyc, DirtyGran: GranLine, Battery: true}
+}
+
+// ParseAsyncLabel inverts Label: "ep<cycles>/<gran>[+inc][+bat]" back into
+// an AsyncConfig (Scrub is not part of the label and parses to false). The
+// empty string parses to the zero config, so a label is a complete wire
+// encoding for CLI and worker-protocol plumbing.
+func ParseAsyncLabel(s string) (AsyncConfig, error) {
+	var a AsyncConfig
+	if s == "" {
+		return a, nil
+	}
+	rest, ok := strings.CutPrefix(s, "ep")
+	if !ok {
+		return a, fmt.Errorf("param: bad async label %q (want ep<cycles>/<gran>[+inc][+bat])", s)
+	}
+	epoch, gran, ok := strings.Cut(rest, "/")
+	if !ok {
+		return a, fmt.Errorf("param: bad async label %q (missing granularity)", s)
+	}
+	cyc, err := strconv.ParseUint(epoch, 10, 64)
+	if err != nil {
+		return a, fmt.Errorf("param: bad async label %q: %v", s, err)
+	}
+	a.EpochCyc = cyc
+	for {
+		if g, ok := strings.CutSuffix(gran, "+bat"); ok {
+			gran, a.Battery = g, true
+			continue
+		}
+		if g, ok := strings.CutSuffix(gran, "+inc"); ok {
+			gran, a.Incremental = g, true
+			continue
+		}
+		break
+	}
+	if a.DirtyGran, err = ParseDirtyGran(gran); err != nil {
+		return a, fmt.Errorf("param: bad async label %q: %v", s, err)
+	}
+	return a, nil
+}
 
 // TvarakFeatures toggles the three design elements ablated in Fig. 9.
 // All true yields the full TVARAK design; all false the naive redundancy
@@ -202,6 +353,10 @@ type Config struct {
 
 	Design Design
 
+	// Async parameterizes the asynchronous-redundancy family; it only takes
+	// effect when Design is Vilamb (see AsyncConfig).
+	Async AsyncConfig
+
 	// PhaseCyc is the bound-weave synchronization quantum: cores simulate
 	// independently for a phase and synchronize at phase boundaries
 	// (zsim uses 10k cycles).
@@ -326,6 +481,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Shards < 0 || c.Shards > 64 {
 		return fmt.Errorf("param: shards must be in [0,64], got %d", c.Shards)
+	}
+	if g := c.Async.DirtyGran; g < GranPage || g > GranRange {
+		return fmt.Errorf("param: invalid dirty granularity %d", int(g))
+	}
+	if !c.Async.IsZero() && c.Design != Vilamb {
+		return fmt.Errorf("param: Async config set but design is %s (only Vilamb honours it)", c.Design)
 	}
 	for _, cp := range []struct {
 		name string

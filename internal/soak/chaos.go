@@ -10,10 +10,12 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"tvarak/internal/fault"
 	"tvarak/internal/harness"
+	"tvarak/internal/param"
 )
 
 // Worker protocol markers, one per stdout line. The supervisor arms its
@@ -29,20 +31,69 @@ const (
 // journalKind is the journal record kind for soak units.
 const journalKind = "soak-unit"
 
+// EncodeSamplerArgs flattens sampler options into the two worker-protocol
+// argv tokens (designs CSV, async pin label); "-" stands for "unset" so
+// the positional protocol never carries an empty token.
+func EncodeSamplerArgs(opts SamplerOptions) (designs, async string) {
+	designs, async = "-", "-"
+	if len(opts.Designs) > 0 {
+		var names []string
+		for _, d := range opts.Designs {
+			names = append(names, d.String())
+		}
+		designs = strings.Join(names, ",")
+	}
+	if opts.Async != nil {
+		async = opts.Async.Label()
+	}
+	return designs, async
+}
+
+// ParseSamplerArgs inverts EncodeSamplerArgs on the worker side.
+func ParseSamplerArgs(designs, async string) (SamplerOptions, error) {
+	var opts SamplerOptions
+	if designs != "-" && designs != "" {
+		for _, name := range strings.Split(designs, ",") {
+			found := false
+			for _, d := range param.AllDesigns() {
+				if strings.EqualFold(name, d.String()) {
+					opts.Designs = append(opts.Designs, d)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return opts, fmt.Errorf("soak: unknown design %q in worker args", name)
+			}
+		}
+	}
+	if async != "-" && async != "" {
+		a, err := param.ParseAsyncLabel(async)
+		if err != nil {
+			return opts, err
+		}
+		opts.Async = &a
+	}
+	return opts, nil
+}
+
 // RunWorker is the chaos worker child's entry point: derive soak unit
-// (master, index), run it journaled at journalPath, and atomically write
-// the unit report's JSON encoding to outPath. With resume=true an
-// existing journal — possibly SIGKILL-torn — is reopened and a completed
-// unit is restored instead of re-run; otherwise the journal is started
-// fresh. cmd/tvarak-soak dispatches here in -chaos-worker mode, and the
-// test suite re-execs its own binary into it.
+// (master, index) under opts, run it journaled at journalPath, and
+// atomically write the unit report's JSON encoding to outPath. With
+// resume=true an existing journal — possibly SIGKILL-torn — is reopened
+// and a completed unit is restored instead of re-run; otherwise the
+// journal is started fresh. cmd/tvarak-soak dispatches here in
+// -chaos-worker mode, and the test suite re-execs its own binary into it.
+// opts must match the supervisor's (they arrive through the argv protocol
+// via EncodeSamplerArgs), or the derived unit — and its fingerprint —
+// would diverge.
 //
 // The protocol markers go to out (the supervisor watches the child's
 // stdout): StartMarker before any unit work so a kill can land mid-unit,
 // RestoredMarker if the journal satisfied the unit, DoneMarker only after
 // the report file is durably in place.
-func RunWorker(out io.Writer, master int64, index int, journalPath, outPath string, resume bool) error {
-	unit := UnitAt(master, index)
+func RunWorker(out io.Writer, master int64, index int, journalPath, outPath string, resume bool, opts SamplerOptions) error {
+	unit := UnitAtOpt(master, index, opts)
 	fp := unit.Fingerprint(master)
 
 	var (
@@ -198,8 +249,10 @@ type worker struct {
 // spawnWorker launches cfg.WorkerCmd with the positional chaos-protocol
 // arguments appended and begins scanning its stdout for markers.
 func spawnWorker(ctx context.Context, cfg Config, unit Unit, journalPath, outPath string, resume bool) (*worker, error) {
+	designs, async := EncodeSamplerArgs(cfg.samplerOpts())
 	args := append(append([]string(nil), cfg.WorkerCmd[1:]...),
-		fmt.Sprint(cfg.Seed), fmt.Sprint(unit.Index), journalPath, outPath, fmt.Sprint(resume))
+		fmt.Sprint(cfg.Seed), fmt.Sprint(unit.Index), journalPath, outPath, fmt.Sprint(resume),
+		designs, async)
 	cmd := exec.Command(cfg.WorkerCmd[0], args...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()

@@ -54,24 +54,90 @@ var (
 		param.Tvarak, param.TxBObjectCsums, param.TxBPageCsums, param.Baseline,
 	}
 	samplerShards = []int{0, 0, 2, 3}
+	// Async-family rotation for Vilamb draws: epoch 0 keeps the classic
+	// single-point sketch (identical fingerprints to the pre-family
+	// stream) in rotation alongside the swept epochs and granularities.
+	samplerEpochs = []uint64{0, 2270, 22700, 227000}
+	samplerGrans  = []param.DirtyGran{param.GranPage, param.GranLine, param.GranRange}
 )
 
-// UnitAt derives soak unit index of the stream seeded by master. It is
-// pure: same (master, index) — same unit, on any machine, in any process,
-// regardless of what other indices were sampled or in what order.
+// SamplerOptions pins axes of the soak stream. The zero value is the full
+// default stream. Both the supervisor and the chaos worker child must
+// derive units from the same options — they travel across the re-exec
+// boundary via EncodeSamplerArgs/ParseSamplerArgs.
+type SamplerOptions struct {
+	// Designs restricts the design rotation to this set (preserving the
+	// default rotation's relative weights). Empty = all designs.
+	Designs []param.Design
+	// Async, when non-nil, pins every Vilamb unit's async configuration
+	// instead of rotating it through the sampler's epoch/granularity axes.
+	Async *param.AsyncConfig
+}
+
+// designRotation is the (weight-preserving) design axis under opts.
+func (o SamplerOptions) designRotation() []param.Design {
+	if len(o.Designs) == 0 {
+		return samplerDesigns
+	}
+	var rot []param.Design
+	for _, d := range samplerDesigns {
+		for _, want := range o.Designs {
+			if d == want {
+				rot = append(rot, d)
+				break
+			}
+		}
+	}
+	if len(rot) == 0 {
+		// Pinned designs outside the default rotation (or an all-filtered
+		// set): rotate the pinned list directly.
+		rot = o.Designs
+	}
+	return rot
+}
+
+// UnitAt derives soak unit index of the default stream seeded by master.
 func UnitAt(master int64, index int) Unit {
+	return UnitAtOpt(master, index, SamplerOptions{})
+}
+
+// UnitAtOpt derives soak unit index of the stream seeded by master under
+// the given sampler options. It is pure: same (master, index, opts) — same
+// unit, on any machine, in any process, regardless of what other indices
+// were sampled or in what order.
+func UnitAtOpt(master int64, index int, opts SamplerOptions) Unit {
 	base := splitmix64(splitmix64(uint64(master)) ^ splitmix64(uint64(index)*0x9e3779b97f4a7c15))
 	draw := func(slot uint64) uint64 { return splitmix64(base + slot) }
 
 	apps := fault.AppNames()
+	rot := opts.designRotation()
 	p := fault.UnitParams{
 		App:    apps[draw(0)%uint64(len(apps))],
-		Design: samplerDesigns[draw(1)%uint64(len(samplerDesigns))],
+		Design: rot[draw(1)%uint64(len(rot))],
 		Shards: samplerShards[draw(2)%uint64(len(samplerShards))],
 		// 6..13 injections: several rounds' worth, small enough that one
 		// unit stays a sub-second replay target.
 		N:    int(6 + draw(3)%8),
 		Seed: int64(draw(4) &^ (1 << 63)), // non-negative, full 63-bit range
+	}
+	if p.Design == param.Vilamb {
+		a := param.AsyncConfig{
+			EpochCyc:    samplerEpochs[draw(5)%uint64(len(samplerEpochs))],
+			DirtyGran:   samplerGrans[draw(6)%uint64(len(samplerGrans))],
+			Incremental: draw(7)%4 == 1,
+		}
+		if draw(7)%4 == 0 {
+			a = param.BatteryPreset(a.EpochCyc)
+		}
+		if opts.Async != nil {
+			a = *opts.Async
+		}
+		if !a.IsZero() {
+			p.EpochCyc = a.EpochCyc
+			p.DirtyGran = a.DirtyGran.String()
+			p.Battery = a.Battery
+			p.Incremental = a.Incremental
+		}
 	}
 	return Unit{Index: index, UnitParams: p}
 }

@@ -11,6 +11,7 @@ import (
 	"tvarak/internal/fault"
 	"tvarak/internal/harness"
 	"tvarak/internal/live"
+	"tvarak/internal/param"
 )
 
 // Config shapes one soak run.
@@ -25,6 +26,12 @@ type Config struct {
 	Duration time.Duration
 	// Parallel bounds concurrently-running units (0 = NumCPU).
 	Parallel int
+	// Designs restricts the sampled design rotation (empty = all designs;
+	// see SamplerOptions.Designs).
+	Designs []param.Design
+	// Async, when non-nil, pins every Vilamb unit's async configuration
+	// instead of rotating it through the sampler's epoch/granularity axes.
+	Async *param.AsyncConfig
 	// ChaosEvery routes every ChaosEvery-th unit through a SIGKILL/resume
 	// worker cycle with a byte-identity check (0 disables chaos).
 	ChaosEvery int
@@ -85,6 +92,12 @@ type Summary struct {
 // ErrProblems is returned (wrapped) when the run itself completed but the
 // ledger verdict found problems.
 var ErrProblems = errors.New("soak: run found problems")
+
+// samplerOpts is the sampler view of the config — the supervisor derives
+// units under it and ships the same options to every chaos worker child.
+func (cfg Config) samplerOpts() SamplerOptions {
+	return SamplerOptions{Designs: cfg.Designs, Async: cfg.Async}
+}
 
 // Run executes the soak loop: sample units from the seeded stream, run
 // them journaled on a worker pool with the fault oracle armed, cycle every
@@ -255,7 +268,7 @@ func Run(cfg Config) (*Summary, error) {
 // or simulate the reference report in-process, then — on chaos units —
 // run the kill/resume worker cycle against the reference's bytes.
 func runOne(ctx context.Context, cfg Config, index int) (*LedgerLine, error) {
-	unit := UnitAt(cfg.Seed, index)
+	unit := UnitAtOpt(cfg.Seed, index, cfg.samplerOpts())
 	fp := unit.Fingerprint(cfg.Seed)
 	began := time.Now()
 

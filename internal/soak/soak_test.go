@@ -32,18 +32,19 @@ func TestSoakWorkerHelper(t *testing.T) {
 			break
 		}
 	}
-	if len(args) != 5 {
-		fmt.Fprintf(os.Stderr, "helper: want 5 args (master index journal out resume), got %d\n", len(args))
+	if len(args) != 7 {
+		fmt.Fprintf(os.Stderr, "helper: want 7 args (master index journal out resume designs async), got %d\n", len(args))
 		os.Exit(2)
 	}
 	master, err1 := strconv.ParseInt(args[0], 10, 64)
 	index, err2 := strconv.Atoi(args[1])
 	resume, err3 := strconv.ParseBool(args[4])
-	if err1 != nil || err2 != nil || err3 != nil {
+	opts, err4 := ParseSamplerArgs(args[5], args[6])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 		fmt.Fprintln(os.Stderr, "helper: bad args:", args)
 		os.Exit(2)
 	}
-	if err := RunWorker(os.Stdout, master, index, args[2], args[3], resume); err != nil {
+	if err := RunWorker(os.Stdout, master, index, args[2], args[3], resume, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "helper:", err)
 		os.Exit(1)
 	}
@@ -181,7 +182,7 @@ func TestWorkerJournalRestore(t *testing.T) {
 	out := filepath.Join(dir, "w.json")
 
 	var leg1, leg2 bytes.Buffer
-	if err := RunWorker(&leg1, 42, 0, jpath, out, false); err != nil {
+	if err := RunWorker(&leg1, 42, 0, jpath, out, false, SamplerOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	b1, err := os.ReadFile(out)
@@ -191,7 +192,7 @@ func TestWorkerJournalRestore(t *testing.T) {
 	if err := os.Remove(out); err != nil {
 		t.Fatal(err)
 	}
-	if err := RunWorker(&leg2, 42, 0, jpath, out, true); err != nil {
+	if err := RunWorker(&leg2, 42, 0, jpath, out, true, SamplerOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	b2, err := os.ReadFile(out)

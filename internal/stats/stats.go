@@ -106,6 +106,19 @@ type Stats struct {
 	DiffEvictions      uint64 // diff-partition evictions forcing early writeback
 	RedInvalidations   uint64 // on-controller cache sharing invalidations
 	UpperInvalidations uint64 // inclusive back-invalidations of L1/L2 lines
+
+	// Asynchronous-redundancy (Vilamb family) daemon activity. Zero for
+	// every other design.
+	AsyncEpochs          uint64 // completed daemon reconciliation passes
+	AsyncPagesReconciled uint64 // distinct pages visited by reconciliation
+	AsyncLinesReconciled uint64 // lines whose CRC+parity were re-established
+	AsyncScrubChecks     uint64 // clean lines verified by the scrub pass
+	AsyncQuarantined     uint64 // detected-corrupt lines parity could not repair
+	// AsyncWindowCyc/AsyncWindowLines accumulate the realized vulnerability
+	// window: for every reconciled line, the cycles between its first
+	// dirtying and the reconcile; their ratio is the mean window.
+	AsyncWindowCyc   uint64
+	AsyncWindowLines uint64
 }
 
 // AddCache records one access at a cache level with its energy.
@@ -193,6 +206,13 @@ func (s Stats) Delta(prev Stats) Stats {
 	d.DiffEvictions -= prev.DiffEvictions
 	d.RedInvalidations -= prev.RedInvalidations
 	d.UpperInvalidations -= prev.UpperInvalidations
+	d.AsyncEpochs -= prev.AsyncEpochs
+	d.AsyncPagesReconciled -= prev.AsyncPagesReconciled
+	d.AsyncLinesReconciled -= prev.AsyncLinesReconciled
+	d.AsyncScrubChecks -= prev.AsyncScrubChecks
+	d.AsyncQuarantined -= prev.AsyncQuarantined
+	d.AsyncWindowCyc -= prev.AsyncWindowCyc
+	d.AsyncWindowLines -= prev.AsyncWindowLines
 	return d
 }
 
@@ -227,6 +247,13 @@ func (s Stats) Add(o Stats) Stats {
 	r.DiffEvictions += o.DiffEvictions
 	r.RedInvalidations += o.RedInvalidations
 	r.UpperInvalidations += o.UpperInvalidations
+	r.AsyncEpochs += o.AsyncEpochs
+	r.AsyncPagesReconciled += o.AsyncPagesReconciled
+	r.AsyncLinesReconciled += o.AsyncLinesReconciled
+	r.AsyncScrubChecks += o.AsyncScrubChecks
+	r.AsyncQuarantined += o.AsyncQuarantined
+	r.AsyncWindowCyc += o.AsyncWindowCyc
+	r.AsyncWindowLines += o.AsyncWindowLines
 	return r
 }
 

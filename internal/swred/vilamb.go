@@ -2,150 +2,639 @@ package swred
 
 import (
 	"fmt"
+	"slices"
 
 	"tvarak/internal/daxfs"
+	"tvarak/internal/obs"
+	"tvarak/internal/param"
 	"tvarak/internal/pmem"
 	"tvarak/internal/sim"
 	"tvarak/internal/xsum"
 )
 
-// Vilamb implements the asynchronous software redundancy of Table I's
-// Vilamb row (Kateja et al., the paper's reference [33]): transactions only
-// mark pages dirty (modelling hardware page-table dirty bits, so the
-// foreground cost is negligible), and a daemon running on a dedicated core
-// batches page-checksum and parity updates once per epoch. Batching means a
-// page dirtied many times within an epoch pays for redundancy once — the
-// "configurable overhead" of Table I — at the price of windows of
-// vulnerability in which corruption is silent.
+// Vilamb implements the asynchronous software redundancy family of Table
+// I's Vilamb row (Kateja et al., the paper's reference [33]), generalized
+// into the parameterized design space of param.AsyncConfig: foreground
+// writes only record dirtiness (modelling hardware page-table dirty bits at
+// page granularity, or finer software tracking), and a daemon running on a
+// dedicated core reconciles redundancy every epoch. Batching means a line
+// dirtied many times within an epoch pays for redundancy once — the
+// "configurable overhead" of Table I — at the price of a window of
+// vulnerability in which corruption of dirty data is silently absorbed.
+//
+// Departing deliberately from Vilamb's page-granular checksums, the scheme
+// keeps a 4 B CRC-32C per 64 B line (same rate as TVARAK's
+// DAX-CL-checksums). Line-granular CRCs are what make the rest of the
+// family sound: the scrub pass can attribute a mismatch to one line, and a
+// parity reconstruction can be verified against the stored CRC before it
+// is written back — repair never silently replaces data with a stale or
+// corrupt reconstruction; an unverifiable line is quarantined (detected,
+// unrepaired) instead.
 type Vilamb struct {
-	fs *daxfs.FS
-	m  *daxfs.DaxMap
+	fs  *daxfs.FS
+	eng *sim.Engine
+	m   *daxfs.DaxMap
+	cfg param.AsyncConfig
 
-	pageCsumDI uint64
+	lineCsumDI uint64 // data index of the per-line CRC table
 	lineSize   uint64
+	ps         uint64
+	lpp        uint64 // lines per page
 
-	// EpochCyc is the daemon's sleep between passes.
+	// EpochCyc is the daemon's sleep between passes (effective value of
+	// cfg.EpochCyc; kept as a field so tests can override it directly).
 	EpochCyc uint64
 
-	dirty map[uint64]bool // mapping page index → dirtied this epoch
+	dirty dirtySet
 
-	// Epochs and PagesProcessed count daemon activity for tests/reports.
+	// staged holds the battery preset's per-line intent CRCs, modelling a
+	// battery-backed (hence durable) DRAM staging table written at commit.
+	staged map[uint64]uint32
+
+	// covered lines have a valid stored CRC from a previous reconcile and
+	// are what the scrub pass verifies; quarantined lines were detected
+	// corrupt but could not be repaired from parity.
+	covered     map[uint64]bool
+	quarantined map[uint64]bool
+
+	// Struct-owned scratch: the reconcile path must not allocate per line
+	// (pinned by a testing.AllocsPerRun gate).
+	line, sib, parity, recon []byte
+	sibs                     []uint64
+	runs                     []dirtyRun
+	keys                     []uint64
+
+	// Daemon activity counters for tests and reports (the same values are
+	// folded into the engine's Stats as Async* fields).
 	Epochs         uint64
 	PagesProcessed uint64
+	LinesProcessed uint64
+	ScrubChecks    uint64
+	Quarantined    uint64
+	// WindowCycSum/WindowLines accumulate the realized vulnerability
+	// window: for every reconciled line, the cycles between its first
+	// dirtying and the reconcile that re-established its redundancy.
+	WindowCycSum uint64
+	WindowLines  uint64
 }
 
-// AttachVilamb allocates Vilamb's page checksum table for heap h and
-// installs its (bookkeeping-only) commit hook.
-func AttachVilamb(fs *daxfs.FS, h *pmem.Heap, epochCyc uint64) (*Vilamb, error) {
-	geo := fs.Geometry()
-	v := &Vilamb{
-		fs:       fs,
-		m:        h.Map,
-		lineSize: uint64(geo.LineSize),
-		EpochCyc: epochCyc,
-		dirty:    make(map[uint64]bool),
+// dirtyRun is a run of dirty lines [Start, End) with the earliest cycle at
+// which any of them was dirtied.
+type dirtyRun struct {
+	Start, End uint64
+	Cyc        uint64
+}
+
+// dirtySet tracks dirtied lines at the configured granularity. Page
+// granularity stores dirty pages (Vilamb's page-table dirty bits), line
+// granularity individual lines, range granularity sorted coalesced runs.
+type dirtySet struct {
+	gran  param.DirtyGran
+	lpp   uint64
+	pages map[uint64]uint64 // page index → first-dirty cycle
+	lines map[uint64]uint64 // line index → first-dirty cycle
+	runs  []dirtyRun        // sorted, disjoint, coalesced
+}
+
+func newDirtySet(gran param.DirtyGran, lpp uint64) dirtySet {
+	d := dirtySet{gran: gran, lpp: lpp}
+	switch gran {
+	case param.GranPage:
+		d.pages = make(map[uint64]uint64)
+	case param.GranLine:
+		d.lines = make(map[uint64]uint64)
 	}
-	mapPages := h.Map.Size() / uint64(geo.PageSize)
-	pages := (mapPages*xsum.Size + uint64(geo.PageSize) - 1) / uint64(geo.PageSize)
-	di, err := fs.AllocRaw(pages)
+	return d
+}
+
+// markLines records the line range [start, end) as dirtied at cycle cyc.
+// Page granularity rounds out to whole pages, which is exactly the
+// granularity's coverage cost.
+func (d *dirtySet) markLines(start, end, cyc uint64) {
+	if start >= end {
+		return
+	}
+	switch d.gran {
+	case param.GranPage:
+		for p := start / d.lpp; p <= (end-1)/d.lpp; p++ {
+			if _, ok := d.pages[p]; !ok {
+				d.pages[p] = cyc
+			}
+		}
+	case param.GranLine:
+		for l := start; l < end; l++ {
+			if _, ok := d.lines[l]; !ok {
+				d.lines[l] = cyc
+			}
+		}
+	case param.GranRange:
+		d.insertRun(dirtyRun{Start: start, End: end, Cyc: cyc})
+	}
+}
+
+// insertRun inserts a run into the sorted run list, coalescing overlapping
+// and adjacent runs (keeping the earliest cycle).
+func (d *dirtySet) insertRun(r dirtyRun) {
+	// Find the insertion point: first run with Start > r.Start.
+	i := 0
+	for i < len(d.runs) && d.runs[i].Start <= r.Start {
+		i++
+	}
+	d.runs = append(d.runs, dirtyRun{})
+	copy(d.runs[i+1:], d.runs[i:])
+	d.runs[i] = r
+	// Coalesce with the predecessor and any overlapped successors.
+	if i > 0 && d.runs[i-1].End >= d.runs[i].Start {
+		i--
+	}
+	for i+1 < len(d.runs) && d.runs[i].End >= d.runs[i+1].Start {
+		n := d.runs[i+1]
+		if n.End > d.runs[i].End {
+			d.runs[i].End = n.End
+		}
+		if n.Cyc < d.runs[i].Cyc {
+			d.runs[i].Cyc = n.Cyc
+		}
+		d.runs = append(d.runs[:i+1], d.runs[i+2:]...)
+	}
+}
+
+// covers reports whether line is dirty.
+func (d *dirtySet) covers(line uint64) bool {
+	switch d.gran {
+	case param.GranPage:
+		_, ok := d.pages[line/d.lpp]
+		return ok
+	case param.GranLine:
+		_, ok := d.lines[line]
+		return ok
+	}
+	for _, r := range d.runs {
+		if line < r.Start {
+			return false
+		}
+		if line < r.End {
+			return true
+		}
+	}
+	return false
+}
+
+// lineCount returns how many lines are covered.
+func (d *dirtySet) lineCount() uint64 {
+	switch d.gran {
+	case param.GranPage:
+		return uint64(len(d.pages)) * d.lpp
+	case param.GranLine:
+		return uint64(len(d.lines))
+	}
+	var n uint64
+	for _, r := range d.runs {
+		n += r.End - r.Start
+	}
+	return n
+}
+
+// pageCount returns how many distinct pages hold covered lines.
+func (d *dirtySet) pageCount() int {
+	switch d.gran {
+	case param.GranPage:
+		return len(d.pages)
+	case param.GranLine:
+		pages := make(map[uint64]bool, len(d.lines))
+		for l := range d.lines {
+			pages[l/d.lpp] = true
+		}
+		return len(pages)
+	}
+	n := 0
+	var last uint64
+	first := true
+	for _, r := range d.runs {
+		p0, p1 := r.Start/d.lpp, (r.End-1)/d.lpp
+		if !first && p0 == last {
+			p0++
+		}
+		if p0 <= p1 {
+			n += int(p1 - p0 + 1)
+			last = p1
+			first = false
+		}
+	}
+	return n
+}
+
+// snapshotRuns appends every dirty run in ascending line order.
+func (d *dirtySet) snapshotRuns(dst []dirtyRun, keys []uint64) ([]dirtyRun, []uint64) {
+	switch d.gran {
+	case param.GranPage:
+		keys = keys[:0]
+		for p := range d.pages {
+			keys = append(keys, p)
+		}
+		slices.Sort(keys)
+		for _, p := range keys {
+			dst = append(dst, dirtyRun{Start: p * d.lpp, End: (p + 1) * d.lpp, Cyc: d.pages[p]})
+		}
+	case param.GranLine:
+		keys = keys[:0]
+		for l := range d.lines {
+			keys = append(keys, l)
+		}
+		slices.Sort(keys)
+		for _, l := range keys {
+			dst = append(dst, dirtyRun{Start: l, End: l + 1, Cyc: d.lines[l]})
+		}
+	case param.GranRange:
+		dst = append(dst, d.runs...)
+	}
+	return dst, keys
+}
+
+// clearRun removes the fully-processed run r (which must have come from
+// snapshotRuns) from the set.
+func (d *dirtySet) clearRun(r dirtyRun) {
+	switch d.gran {
+	case param.GranPage:
+		delete(d.pages, r.Start/d.lpp)
+	case param.GranLine:
+		delete(d.lines, r.Start)
+	case param.GranRange:
+		for i, q := range d.runs {
+			if q.Start == r.Start && q.End == r.End {
+				d.runs = append(d.runs[:i], d.runs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+func (d *dirtySet) empty() bool {
+	return len(d.pages) == 0 && len(d.lines) == 0 && len(d.runs) == 0
+}
+
+// AttachVilamb allocates the scheme's line-CRC table for heap h and
+// installs its commit hook.
+func AttachVilamb(fs *daxfs.FS, h *pmem.Heap, cfg param.AsyncConfig) (*Vilamb, error) {
+	v, err := newVilamb(fs, h.Map, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("swred: vilamb checksum table: %w", err)
+		return nil, err
 	}
-	v.pageCsumDI = di
 	h.SetCommitHook(v)
 	return v, nil
 }
 
-// OnCommit implements pmem.CommitHook: record dirtied pages. This models
-// page-table dirty-bit tracking, which costs the foreground nothing — the
-// whole point of Vilamb's design.
+// AttachVilambRaw attaches the scheme to a raw (non-transactional) mapping;
+// the workload reports its writes through MarkDirty.
+func AttachVilambRaw(fs *daxfs.FS, m *daxfs.DaxMap, cfg param.AsyncConfig) (*Vilamb, error) {
+	return newVilamb(fs, m, cfg)
+}
+
+func newVilamb(fs *daxfs.FS, m *daxfs.DaxMap, cfg param.AsyncConfig) (*Vilamb, error) {
+	geo := fs.Geometry()
+	cfg = cfg.Effective()
+	ls := uint64(geo.LineSize)
+	v := &Vilamb{
+		fs:          fs,
+		eng:         fs.Engine(),
+		m:           m,
+		cfg:         cfg,
+		lineSize:    ls,
+		ps:          uint64(geo.PageSize),
+		lpp:         uint64(geo.LinesPerPage()),
+		EpochCyc:    cfg.EpochCyc,
+		dirty:       newDirtySet(cfg.DirtyGran, uint64(geo.LinesPerPage())),
+		covered:     make(map[uint64]bool),
+		quarantined: make(map[uint64]bool),
+		line:        make([]byte, ls),
+		sib:         make([]byte, ls),
+		parity:      make([]byte, ls),
+		recon:       make([]byte, ls),
+		sibs:        make([]uint64, 0, geo.DIMMs),
+	}
+	if cfg.Battery {
+		v.staged = make(map[uint64]uint32)
+	}
+	mapLines := m.Size() / ls
+	pages := (mapLines*xsum.Size + v.ps - 1) / v.ps
+	di, err := fs.AllocRaw(pages)
+	if err != nil {
+		return nil, fmt.Errorf("swred: vilamb checksum table: %w", err)
+	}
+	v.lineCsumDI = di
+	return v, nil
+}
+
+// Config returns the effective async configuration.
+func (v *Vilamb) Config() param.AsyncConfig { return v.cfg }
+
+// Mapping returns the DAX mapping this scheme protects.
+func (v *Vilamb) Mapping() *daxfs.DaxMap { return v.m }
+
+// csumAddr returns the physical address of line's stored CRC.
+func (v *Vilamb) csumAddr(line uint64) uint64 {
+	return v.fs.Geometry().DataIndexAddr(v.lineCsumDI, line*xsum.Size)
+}
+
+// OnCommit implements pmem.CommitHook: record dirtiness at the configured
+// granularity. At page granularity this models page-table dirty-bit
+// tracking, which costs the foreground nothing — the whole point of
+// Vilamb's design; finer granularities stay bookkeeping-only too. Under the
+// battery preset the commit additionally computes and stages per-line
+// intent CRCs (the lines are cache-hot, so the loads are near-free; the
+// staging table lives in battery-backed DRAM).
 func (v *Vilamb) OnCommit(c *sim.Core, h *pmem.Heap, ranges []pmem.Range) {
-	ps := uint64(v.fs.Geometry().PageSize)
 	for _, r := range ranges {
-		if r.Len == 0 {
-			// Off+Len-1 underflows at Off==0 and would mark ~2^64 pages.
-			continue
-		}
-		for p := r.Off / ps; p <= (r.Off+r.Len-1)/ps; p++ {
-			v.dirty[p] = true
-		}
+		v.MarkDirty(c, r.Off, r.Len)
 	}
 }
 
-// MarkDirty records a raw (non-transactional) write, for mappings driven
-// without a heap.
-func (v *Vilamb) MarkDirty(off, n uint64) {
+// MarkDirty records a write of [off, off+n) — from the commit hook, or
+// directly from workloads driving a raw mapping. c may be nil for untimed
+// bookkeeping (then the battery preset cannot stage and the window
+// accounting skips the mark).
+func (v *Vilamb) MarkDirty(c *sim.Core, off, n uint64) {
 	if n == 0 {
+		// off+n-1 underflows at off==0 and would mark ~2^64 lines.
 		return
 	}
-	ps := uint64(v.fs.Geometry().PageSize)
-	for p := off / ps; p <= (off+n-1)/ps; p++ {
-		v.dirty[p] = true
+	start := off / v.lineSize
+	end := (off+n-1)/v.lineSize + 1
+	var cyc uint64
+	if c != nil {
+		cyc = c.Clock
+	}
+	v.dirty.markLines(start, end, cyc)
+	if v.staged != nil && c != nil {
+		for l := start; l < end; l++ {
+			v.m.Load(c, l*v.lineSize, v.line)
+			c.Compute(1 + v.lineSize/8)
+			v.staged[l] = xsum.Checksum(v.line)
+		}
 	}
 }
 
-// Daemon returns the worker that runs Vilamb's background pass on its own
-// core: every epoch it processes all pages dirtied since the last pass.
+// Daemon returns the worker that runs the scheme's background pass on its
+// own core: every epoch it reconciles all lines dirtied since the last
+// pass (incremental mode spreads that work over sub-slices of the epoch).
 // It exits after a final reconciliation pass once *stop is set (the harness
 // sets it when the application workers finish).
 func (v *Vilamb) Daemon(stop *bool) func(*sim.Core) {
 	return func(c *sim.Core) {
 		const slice = 10000 // interruptible sleep
+		subs := uint64(1)
+		if v.cfg.Incremental {
+			subs = IncrementalSlices
+		}
+		interval := max(1, v.EpochCyc/subs)
+		sub := uint64(0)
 		for !*stop {
-			for slept := uint64(0); !*stop && slept < v.EpochCyc; {
-				step := min(slice, v.EpochCyc-slept)
+			for slept := uint64(0); !*stop && slept < interval; {
+				step := min(slice, interval-slept)
 				c.Compute(step)
 				slept += step
 			}
-			v.ProcessEpoch(c)
+			sub++
+			if sub%subs == 0 {
+				v.ProcessEpoch(c)
+			} else {
+				v.ProcessPartial(c, int(subs-sub%subs))
+			}
 		}
 		v.ProcessEpoch(c) // reconcile the tail so fixed work is covered
 	}
 }
 
-// ProcessEpoch recomputes page checksums and parity for every dirty page.
+// IncrementalSlices is how many sub-slices incremental mode splits each
+// epoch into.
+const IncrementalSlices = 8
+
+// ProcessEpoch runs one full reconciliation pass: scrub previously
+// reconciled lines (when configured), then recompute checksums and parity
+// for every dirty line.
 func (v *Vilamb) ProcessEpoch(c *sim.Core) {
-	if len(v.dirty) == 0 {
-		v.Epochs++
+	if v.cfg.Scrub {
+		v.scrub(c)
+	}
+	v.processRuns(c, -1)
+	v.Epochs++
+	v.eng.St.AsyncEpochs++
+}
+
+// ProcessPartial reconciles roughly 1/share of the pending lines (at least
+// one run), in ascending line order: incremental mode's sub-slice step. It
+// neither scrubs nor counts an epoch.
+func (v *Vilamb) ProcessPartial(c *sim.Core, share int) {
+	if share < 1 {
+		share = 1
+	}
+	pending := v.dirty.lineCount()
+	if pending == 0 {
+		return
+	}
+	budget := int((pending + uint64(share) - 1) / uint64(share))
+	v.processRuns(c, budget)
+}
+
+// processRuns reconciles pending runs in ascending line order until budget
+// lines have been processed (budget < 0 drains everything). Budget is
+// checked at run boundaries so page-granular runs are never split.
+func (v *Vilamb) processRuns(c *sim.Core, budget int) {
+	if v.dirty.empty() {
+		return
+	}
+	v.runs, v.keys = v.dirty.snapshotRuns(v.runs[:0], v.keys)
+	processed := 0
+	lastPage := uint64(1) << 63
+	for _, r := range v.runs {
+		if budget >= 0 && processed >= budget {
+			break
+		}
+		for line := r.Start; line < r.End; line++ {
+			if p := line / v.lpp; p != lastPage {
+				lastPage = p
+				v.PagesProcessed++
+				v.eng.St.AsyncPagesReconciled++
+			}
+			v.reconcileLine(c, line, r.Cyc)
+			processed++
+		}
+		v.dirty.clearRun(r)
+	}
+}
+
+// reconcileLine re-establishes redundancy for one dirty line: CRC over the
+// current content (verified against the staged intent CRC first under the
+// battery preset), then a full parity recompute for its stripe group.
+func (v *Vilamb) reconcileLine(c *sim.Core, line, markCyc uint64) {
+	geo := v.fs.Geometry()
+	off := line * v.lineSize
+	addr := geo.LineAddr(v.m.Addr(off))
+	v.m.Load(c, off, v.line)
+	c.Compute(1 + v.lineSize/8)
+	crc := xsum.Checksum(v.line)
+	if v.staged != nil {
+		if want, ok := v.staged[line]; ok {
+			delete(v.staged, line)
+			if want != crc {
+				// The deferred update pass caught the corruption before
+				// absorbing it — the battery preset's zero silent window.
+				v.eng.St.CorruptionsDetected++
+				v.eng.Emit(obs.EvCorruption, c.Clock, addr, 0)
+				if !v.tryRepair(c, line, addr, want) {
+					v.quarantine(line)
+					return
+				}
+				crc = want
+			}
+		}
+	}
+	v.LinesProcessed++
+	v.eng.St.AsyncLinesReconciled++
+	c.Store32(v.csumAddr(line), crc)
+	// Parity for the line's stripe group, recomputed from siblings.
+	copy(v.parity, v.line)
+	v.sibs = geo.AppendSiblingLineAddrs(v.sibs[:0], addr)
+	for _, sa := range v.sibs {
+		c.Load(sa, v.sib)
+		xsum.XORInto(v.parity, v.sib)
+	}
+	c.Compute(uint64(geo.DIMMs - 1))
+	c.Store(geo.ParityLineAddr(addr), v.parity)
+	v.covered[line] = true
+	delete(v.quarantined, line)
+	if markCyc != 0 && c.Clock > markCyc {
+		w := c.Clock - markCyc
+		v.WindowCycSum += w
+		v.WindowLines++
+		v.eng.St.AsyncWindowCyc += w
+		v.eng.St.AsyncWindowLines++
+	}
+}
+
+// scrub verifies every previously reconciled, currently clean line against
+// its stored CRC, detecting out-of-window corruption (bit rot, misdirected
+// writes landing on clean data) and repairing it from parity when the
+// reconstruction verifies.
+func (v *Vilamb) scrub(c *sim.Core) {
+	if len(v.covered) == 0 {
 		return
 	}
 	geo := v.fs.Geometry()
-	ps := uint64(geo.PageSize)
-	page := make([]byte, ps)
-	sib := make([]byte, v.lineSize)
-	parity := make([]byte, v.lineSize)
-	// Deterministic order: ascending page index.
-	pages := make([]uint64, 0, len(v.dirty))
-	for p := range v.dirty {
-		pages = append(pages, p)
+	v.keys = v.keys[:0]
+	for l := range v.covered {
+		v.keys = append(v.keys, l)
 	}
-	for i := 1; i < len(pages); i++ { // insertion sort, small sets
-		for j := i; j > 0 && pages[j] < pages[j-1]; j-- {
-			pages[j], pages[j-1] = pages[j-1], pages[j]
+	slices.Sort(v.keys)
+	for _, line := range v.keys {
+		if v.dirty.covers(line) || v.quarantined[line] {
+			continue
+		}
+		off := line * v.lineSize
+		addr := geo.LineAddr(v.m.Addr(off))
+		v.m.Load(c, off, v.line)
+		c.Compute(1 + v.lineSize/8)
+		stored := c.Load32(v.csumAddr(line))
+		v.ScrubChecks++
+		v.eng.St.AsyncScrubChecks++
+		if xsum.Checksum(v.line) == stored {
+			continue
+		}
+		v.eng.St.CorruptionsDetected++
+		v.eng.Emit(obs.EvCorruption, c.Clock, addr, 0)
+		if !v.tryRepair(c, line, addr, stored) {
+			v.quarantine(line)
 		}
 	}
-	for _, p := range pages {
-		delete(v.dirty, p)
-		v.PagesProcessed++
-		v.m.Load(c, p*ps, page)
-		c.Compute(1 + ps/8)
-		c.Store32(geo.DataIndexAddr(v.pageCsumDI, p*xsum.Size), xsum.Checksum(page))
-		// Parity for every line of the page, recomputed from siblings.
-		for lo := uint64(0); lo < ps; lo += v.lineSize {
-			off := p*ps + lo
-			addr := geo.LineAddr(v.m.Addr(off))
-			copy(parity, page[lo:lo+v.lineSize])
-			for _, sa := range geo.SiblingLineAddrs(addr) {
-				c.Load(sa, sib)
-				xsum.XORInto(parity, sib)
-			}
-			c.Compute(uint64(geo.DIMMs - 1))
-			c.Store(geo.ParityLineAddr(addr), parity)
-		}
-	}
-	v.Epochs++
 }
 
-// DirtyPages reports how many pages await the next epoch (the window of
-// vulnerability, in pages).
-func (v *Vilamb) DirtyPages() int { return len(v.dirty) }
+// tryRepair reconstructs the line from parity and siblings and restores it
+// only if the reconstruction's CRC matches want; a mismatch (stale parity —
+// a stripe member is pending — or multi-corruption) leaves the line alone
+// and reports false. The CRC check is what makes asynchronous repair safe:
+// it can never silently replace data with a wrong reconstruction.
+func (v *Vilamb) tryRepair(c *sim.Core, line, addr uint64, want uint32) bool {
+	geo := v.fs.Geometry()
+	c.Load(geo.ParityLineAddr(addr), v.recon)
+	v.sibs = geo.AppendSiblingLineAddrs(v.sibs[:0], addr)
+	for _, sa := range v.sibs {
+		c.Load(sa, v.sib)
+		xsum.XORInto(v.recon, v.sib)
+	}
+	c.Compute(uint64(geo.DIMMs-1) + 1 + v.lineSize/8)
+	if xsum.Checksum(v.recon) != want {
+		return false
+	}
+	v.m.Store(c, line*v.lineSize, v.recon)
+	copy(v.line, v.recon)
+	v.eng.St.Recoveries++
+	v.eng.Emit(obs.EvRecovery, c.Clock, addr, 0)
+	return true
+}
+
+func (v *Vilamb) quarantine(line uint64) {
+	if !v.quarantined[line] {
+		v.quarantined[line] = true
+		v.Quarantined++
+		v.eng.St.AsyncQuarantined++
+	}
+}
+
+// DirtyPages reports how many distinct pages hold lines awaiting the next
+// epoch (the window of vulnerability, in pages).
+func (v *Vilamb) DirtyPages() int { return v.dirty.pageCount() }
+
+// DirtyLines reports how many lines await the next epoch.
+func (v *Vilamb) DirtyLines() uint64 { return v.dirty.lineCount() }
+
+// lineOf maps a physical line address into this mapping's line index.
+func (v *Vilamb) lineOf(addr uint64) (uint64, bool) {
+	geo := v.fs.Geometry()
+	if !geo.IsNVM(addr) {
+		return 0, false
+	}
+	p := geo.PageOf(addr)
+	if geo.IsParityPage(p) {
+		return 0, false
+	}
+	di := geo.DataIndexOf(p)
+	f := v.m.File()
+	if di < f.StartDI || di >= f.StartDI+f.Pages {
+		return 0, false
+	}
+	off := (di-f.StartDI)*v.ps + (addr-geo.PageBase(p))&^(v.lineSize-1)
+	return off / v.lineSize, true
+}
+
+// CoversAddr reports whether the physical line at addr belongs to this
+// scheme's mapping.
+func (v *Vilamb) CoversAddr(addr uint64) bool {
+	_, ok := v.lineOf(addr)
+	return ok
+}
+
+// Pending reports whether the physical line at addr is dirty — inside the
+// scheme's open vulnerability window, where corruption is expected-silent
+// (except under the battery preset, which verifies before absorbing).
+func (v *Vilamb) Pending(addr uint64) bool {
+	line, ok := v.lineOf(addr)
+	return ok && v.dirty.covers(line)
+}
+
+// Tracked reports whether the scheme has ever been told about the physical
+// line at addr: it is dirty now or was reconciled before. Only tracked
+// lines are under the scheme's protection — data written into the mapping
+// without a MarkDirty (heap allocator metadata, setup-time raw fills) is
+// outside its coverage, exactly like data outside a TxB scheme's
+// transactional interface.
+func (v *Vilamb) Tracked(addr uint64) bool {
+	line, ok := v.lineOf(addr)
+	return ok && (v.dirty.covers(line) || v.covered[line])
+}
+
+// QuarantinedAddr reports whether the physical line at addr was detected
+// corrupt but could not be repaired from parity.
+func (v *Vilamb) QuarantinedAddr(addr uint64) bool {
+	line, ok := v.lineOf(addr)
+	return ok && v.quarantined[line]
+}

@@ -1,0 +1,78 @@
+package swred_test
+
+import (
+	"testing"
+
+	"tvarak/internal/harness"
+	"tvarak/internal/param"
+	"tvarak/internal/sim"
+)
+
+// TestVilambProcessEpochSteadyStateAllocFree pins the daemon-pass
+// guarantee: once the scheme's struct-owned scratch (line/sibling/parity
+// buffers, run snapshot, sort keys) is warm, a full reconciliation pass —
+// dirty-set snapshot, per-line CRC, stripe parity recompute, scrub — heap-
+// allocates nothing per line. The budget covers only the fixed per-Run cost
+// of the engine (worker goroutine + channels); any per-line allocation
+// would add hundreds. Gated across every dirty-tracking granularity, with
+// scrub exercised at line granularity and the battery preset's staging
+// path (intent CRCs computed at mark time) on top.
+func TestVilambProcessEpochSteadyStateAllocFree(t *testing.T) {
+	cases := []struct {
+		name  string
+		async param.AsyncConfig
+	}{
+		{"page", param.AsyncConfig{DirtyGran: param.GranPage}},
+		{"line+scrub", param.AsyncConfig{DirtyGran: param.GranLine, Scrub: true}},
+		{"range", param.AsyncConfig{DirtyGran: param.GranRange}},
+		{"battery", param.BatteryPreset(0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := param.SmallTest(param.Vilamb)
+			cfg.Async = tc.async
+			sys, err := harness.NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.NewHeap("h", 2<<20, 1024); err != nil {
+				t.Fatal(err)
+			}
+			if len(sys.Vilambs) != 1 {
+				t.Fatalf("Vilamb scheme not attached (%d)", len(sys.Vilambs))
+			}
+			v := sys.Vilambs[0]
+
+			// A fixed, scattered mark set: the same lines re-dirty every
+			// epoch, so steady state re-uses every map slot and scratch
+			// buffer the warm-up pass grew.
+			mark := func(c *sim.Core) {
+				for i := uint64(0); i < 64; i++ {
+					v.MarkDirty(c, i*640, 64)
+				}
+			}
+			sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+				mark(c)
+				v.ProcessEpoch(c)
+				mark(c)
+				v.ProcessEpoch(c)
+			}})
+			if err := sys.Eng.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			per := testing.AllocsPerRun(5, func() {
+				sys.Eng.Run([]func(*sim.Core){func(c *sim.Core) {
+					mark(c)
+					v.ProcessEpoch(c)
+				}})
+			})
+			if err := sys.Eng.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if per > 16 {
+				t.Errorf("steady-state epoch pass allocated %.0f objects; the reconcile path must be allocation-free beyond the fixed per-Run cost", per)
+			}
+		})
+	}
+}

@@ -186,7 +186,7 @@ func TestVilambEmptyCommitRangeMarksNothing(t *testing.T) {
 	if got := v.DirtyPages(); got != 0 {
 		t.Errorf("empty commit range marked %d pages dirty, want 0", got)
 	}
-	v.MarkDirty(0, 0)
+	v.MarkDirty(nil, 0, 0)
 	if got := v.DirtyPages(); got != 0 {
 		t.Errorf("MarkDirty(0,0) marked %d pages dirty, want 0", got)
 	}

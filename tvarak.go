@@ -117,7 +117,41 @@ const (
 	DesignTvarak         = param.Tvarak
 	DesignTxBObjectCsums = param.TxBObjectCsums
 	DesignTxBPageCsums   = param.TxBPageCsums
+	DesignVilamb         = param.Vilamb
 )
+
+// Asynchronous-redundancy (Vilamb) design family.
+type (
+	// AsyncConfig parameterizes the asynchronous (Vilamb-family) designs:
+	// epoch interval, dirty-tracking granularity, batched vs. incremental
+	// recomputation, and the battery-backed-DRAM preset. Set it on
+	// Config.Async (Vilamb design only).
+	AsyncConfig = param.AsyncConfig
+	// DirtyGran selects the async dirty-tracking granularity.
+	DirtyGran = param.DirtyGran
+	// MetricsFigure is one derived figure panel of a metrics export.
+	MetricsFigure = obs.Figure
+)
+
+// Async dirty-tracking granularities.
+const (
+	GranPage  = param.GranPage
+	GranLine  = param.GranLine
+	GranRange = param.GranRange
+)
+
+// ParseDirtyGran parses a granularity name ("", "page", "line", "range").
+func ParseDirtyGran(s string) (DirtyGran, error) { return param.ParseDirtyGran(s) }
+
+// BatteryBackedPreset is the battery-backed-DRAM async preset: line-granular
+// dirty tracking with staged intent checksums verified at each
+// reconciliation pass, closing the vulnerability window entirely.
+func BatteryBackedPreset(epochCyc uint64) AsyncConfig { return param.BatteryPreset(epochCyc) }
+
+// AsyncSweepFigures derives the async sweep's figure panels
+// (overhead-vs-epoch, vulnerability-window-vs-epoch) from a finished
+// result table; nil when the table has no async variants.
+func AsyncSweepFigures(t *ResultTable) []MetricsFigure { return experiments.AsyncFigures(t) }
 
 // Cache levels for Stats.Cache indexing.
 const (
